@@ -1,0 +1,105 @@
+"""Regenerates Figure 4: the control-flow graph of the partitioned
+oblivious transfer over hosts A, B and T, and checks its structural
+properties — the ICS choreography the paper walks through."""
+
+import pytest
+
+from repro.reporting import fig4
+from repro.splitter import TermCall, TermReturn, split_source
+from repro.workloads import ot
+
+
+@pytest.fixture(scope="module")
+def split_result():
+    return split_source(ot.source(rounds=1), ot.config())
+
+
+class TestFigure4Structure:
+    def test_three_hosts_participate(self, split_result):
+        assert set(split_result.split.hosts_used()) == {"A", "B", "T"}
+
+    def test_alice_fields_on_a(self, split_result):
+        fields = split_result.split.fields
+        assert fields[("OTBench", "m1")].host == "A"
+        assert fields[("OTBench", "m2")].host == "A"
+        assert fields[("OTBench", "isAccessed")].host == "A"
+
+    def test_bobs_input_on_b(self, split_result):
+        assert split_result.split.fields[("OTBench", "request")].host == "B"
+
+    def test_b_returns_via_capability(self, split_result):
+        """B's code fragment must hand control back with lgoto of a
+        one-shot capability — Figure 4's t1."""
+        split = split_result.split
+        for fragment in split.fragments_on("B"):
+            terminator = fragment.terminator
+            plans = getattr(terminator, "plan", None)
+            if plans is None:
+                continue
+            kinds = [action.kind for action in plans]
+            if "lgoto" in kinds:
+                break
+        else:
+            pytest.fail("no B fragment returns control via lgoto")
+
+    def test_b_cannot_invoke_any_privileged_entry(self, split_result):
+        """The Figure 4 denial: B may not rgoto any entry on T or A."""
+        split = split_result.split
+        for entry, fragment in split.fragments.items():
+            if fragment.host in ("A", "T") and fragment.remote_entry:
+                assert "B" not in split.entry_invokers(entry), entry
+
+    def test_transfer_entry_requires_alice_integrity(self, split_result):
+        split = split_result.split
+        entry = split.methods[("OTBench", "transfer")].entry
+        invokers = split.entry_invokers(entry)
+        assert invokers <= {"A", "T"}
+
+    def test_endorse_test_runs_on_t(self, split_result):
+        """Only T may see Bob's n under Alice's pc — the endorse test
+        lands there, as in Figure 4's e3 block."""
+        from repro.splitter.fragments import TermBranch
+        from repro.splitter import ir as sir
+
+        split = split_result.split
+        for fragment in split.fragments.values():
+            terminator = fragment.terminator
+            if isinstance(terminator, TermBranch):
+                downgrades = [
+                    node
+                    for node in sir.walk_expr(terminator.cond)
+                    if isinstance(node, sir.DowngradeExpr)
+                ]
+                if downgrades:
+                    assert fragment.host == "T"
+
+    def test_calls_sync_their_continuations(self, split_result):
+        """Every call entry is paired with a continuation on the caller's
+        own host (the sync/lgoto pairing of Section 5.5)."""
+        split = split_result.split
+        for fragment in split.fragments.values():
+            if isinstance(fragment.terminator, TermCall):
+                cont = split.fragments[fragment.terminator.cont_entry]
+                assert cont.host == fragment.host
+
+    def test_rendering_mentions_all_entries(self, split_result):
+        text = fig4.render(split_result)
+        for entry in split_result.split.fragments:
+            assert entry in text
+
+    def test_edge_summary_counts(self, split_result):
+        summary = fig4.edge_summary(split_result)
+        assert summary["rgoto"] >= 2
+        assert summary["lgoto"] >= 1
+        assert summary["sync"] >= 1
+        assert summary["call"] == 1
+
+
+class TestFigure4Benchmark:
+    def test_split_ot(self, benchmark):
+        result = benchmark(lambda: split_source(ot.source(), ot.config()))
+        benchmark.extra_info["fragments"] = len(result.split.fragments)
+
+    def test_render_fig4(self, benchmark, split_result):
+        text = benchmark(lambda: fig4.render(split_result))
+        assert "Host A" in text and "Host B" in text and "Host T" in text

@@ -1,0 +1,59 @@
+"""Microbenchmarks of the label lattice — the operations the checker and
+splitter perform constantly (the paper notes label comparisons can be
+compiled to ACL lookups; these numbers justify precomputing the ACLs)."""
+
+import pytest
+
+from repro.labels import Label, parse_label
+
+L1 = parse_label("{Alice: Bob, Carol; ?: Alice}")
+L2 = parse_label("{Alice: Bob; Dave:; ?: Alice, Dave}")
+L3 = parse_label("{Bob:; ?: Bob}")
+
+
+class TestLatticeOps:
+    def test_flows_to(self, benchmark):
+        assert benchmark(lambda: L1.flows_to(L2)) in (True, False)
+
+    def test_join(self, benchmark):
+        joined = benchmark(lambda: L1.join(L2))
+        assert joined.conf.owners()
+
+    def test_meet(self, benchmark):
+        benchmark(lambda: L1.meet(L2))
+
+    def test_parse(self, benchmark):
+        label = benchmark(
+            lambda: parse_label("{Alice: Bob, Carol; Dave:; ?: Alice}")
+        )
+        assert label.conf.owners()
+
+    def test_str_round_trip(self, benchmark):
+        label = benchmark(lambda: parse_label(str(L2)))
+        assert label == L2
+
+
+class TestCheckerThroughput:
+    def test_typecheck_throughput(self, benchmark):
+        """Checking a ~40-statement program, end to end."""
+        from repro.lang import check_source
+        from repro.workloads import ot
+
+        source = ot.source(rounds=100)
+        checked = benchmark(lambda: check_source(source))
+        assert checked.fields
+
+    def test_acl_precomputation_amortizes_label_checks(self, benchmark):
+        """Section 5.1: 'label comparisons can be optimized into a single
+        lookup per request' — a set-membership ACL check is orders of
+        magnitude cheaper than the lattice comparison it caches."""
+        from repro.splitter import split_source
+        from repro.workloads import ot
+
+        split = split_source(ot.source(rounds=1), ot.config()).split
+        placement = split.fields[("OTBench", "m1")]
+
+        def acl_lookup():
+            return "T" in placement.readers
+
+        assert benchmark(acl_lookup)

@@ -1,0 +1,35 @@
+"""Benchmark of the program-scale medical workload (the paper's §10
+calls for 'experience with larger and more realistic programs')."""
+
+import pytest
+
+from repro.workloads import medical
+
+
+class TestMedicalScale:
+    def test_medical_full_pipeline(self, benchmark):
+        result = benchmark(medical.run)
+        benchmark.extra_info["simulated_elapsed_sec"] = round(
+            result.elapsed, 4
+        )
+        for key, value in result.counts.items():
+            benchmark.extra_info[key] = value
+        assert set(result.split_result.split.hosts_used()) == {
+            "LabHost", "ClinicHost", "PartnerHost", "InsurerHost",
+        }
+
+    def test_messages_scale_with_patients(self, benchmark):
+        def measure():
+            small = medical.run(patients=10)
+            large = medical.run(patients=20)
+            return (
+                small.counts["total_messages"],
+                large.counts["total_messages"],
+            )
+
+        small_msgs, large_msgs = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        ratio = large_msgs / small_msgs
+        benchmark.extra_info["ratio"] = round(ratio, 2)
+        assert 1.5 <= ratio <= 2.5

@@ -1,0 +1,92 @@
+"""Section 7.4's optimization measurements, as ablations:
+
+* level 0: no piggybacking or coalescing (every forward is a round trip);
+* level 1: the paper's implemented optimizations — forwards combined per
+  recipient and piggybacked on lgoto/rgoto ("this reduces forward
+  messages by more than 50%"), local calls skip the network, local
+  tokens skip hashing;
+* level 2: the paper's *proposed* optimizations — return values ride the
+  lgoto and forwards need no acknowledgment.
+"""
+
+import pytest
+
+from repro.workloads import listcompare, ot, tax, work
+
+WORKLOADS = [
+    ("List", listcompare.run),
+    ("OT", ot.run),
+    ("Tax", tax.run),
+    ("Work", work.run),
+]
+
+
+@pytest.mark.parametrize("name,runner", WORKLOADS)
+def test_piggybacking_halves_forward_traffic(benchmark, name, runner):
+    """The paper's claim: piggybacking + combining eliminates more than
+    50% of forward messages (where there are any forwards at all)."""
+
+    def measure():
+        raw = runner(opt_level=0)
+        optimized = runner(opt_level=1)
+        return raw, optimized
+
+    raw, optimized = benchmark.pedantic(measure, rounds=1, iterations=1)
+    raw_forwards = raw.counts["forward"]
+    remaining = optimized.counts["forward"]
+    eliminated = optimized.counts["eliminated"]
+    benchmark.extra_info["raw_forwards"] = raw_forwards
+    benchmark.extra_info["remaining_forwards"] = remaining
+    benchmark.extra_info["eliminated"] = eliminated
+    if raw_forwards == 0:
+        assert remaining == 0
+    else:
+        assert eliminated / raw_forwards > 0.5, (
+            f"{name}: only {eliminated}/{raw_forwards} forwards eliminated"
+        )
+
+
+@pytest.mark.parametrize("name,runner", WORKLOADS)
+def test_optimization_levels_preserve_semantics(benchmark, name, runner):
+    def measure():
+        runs = [runner(opt_level=level) for level in (0, 1, 2)]
+        return [run.counts["total_messages"] for run in runs]
+
+    messages = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["messages_by_level"] = messages
+    # More optimization never sends more messages.
+    assert messages[0] >= messages[1] >= messages[2]
+
+
+def test_level2_async_forwards_cut_round_trips(benchmark):
+    """The paper's unimplemented optimization: eliminating forward
+    acknowledgments saves one message per non-piggybacked forward."""
+
+    def measure():
+        level1 = listcompare.run(opt_level=1)
+        level2 = listcompare.run(opt_level=2)
+        return level1.counts, level2.counts
+
+    counts1, counts2 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    saved = counts1["total_messages"] - counts2["total_messages"]
+    benchmark.extra_info["messages_saved"] = saved
+    assert saved >= counts1["forward"] * 0.9
+
+
+def test_local_calls_do_not_touch_network(benchmark):
+    """Section 7.4: 'Calls to the same host do not go through the
+    network' — a single-host configuration sends nothing at all."""
+    from repro.runtime import run_split_program
+    from repro.splitter import split_source
+    from repro.trust import HostDescriptor, TrustConfiguration
+
+    config = TrustConfiguration(
+        [HostDescriptor.of("H", "{Alice:; Bob:}", "{?:Alice, Bob}")]
+    )
+    split = split_source(ot.source(rounds=10), config)
+
+    def run():
+        return run_split_program(split.split)
+
+    outcome = benchmark(run)
+    assert outcome.counts["total_messages"] == 0

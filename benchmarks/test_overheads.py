@@ -1,0 +1,64 @@
+"""Section 7.3's overhead measurements:
+
+* "The cost of checking incoming messages is less than 6% of execution
+  time for all four example programs."
+* "The cost of token hashing accounted for approximately 15% of
+  execution time across the four benchmarks."
+* "Both of these numbers scale with the number of messages."
+"""
+
+import pytest
+
+from repro.workloads import listcompare, ot, tax, work
+
+WORKLOADS = [
+    ("List", listcompare.run, {}),
+    ("OT", ot.run, {}),
+    ("Tax", tax.run, {}),
+    ("Work", work.run, {}),
+]
+
+
+@pytest.mark.parametrize("name,runner,kwargs", WORKLOADS)
+def test_check_overhead_below_paper_bound(benchmark, name, runner, kwargs):
+    result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+    network = result.execution.network
+    fraction = network.check_time / network.clock
+    benchmark.extra_info["check_fraction"] = round(fraction, 4)
+    assert fraction < 0.06, f"{name}: checking cost {fraction:.1%} >= 6%"
+
+
+@pytest.mark.parametrize("name,runner,kwargs", WORKLOADS)
+def test_hash_overhead_in_paper_band(benchmark, name, runner, kwargs):
+    result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+    network = result.execution.network
+    fraction = network.hash_time / network.clock
+    benchmark.extra_info["hash_fraction"] = round(fraction, 4)
+    # ≈15% in the paper; Tax legitimately hashes nothing (its tokens
+    # never cross the network), so only bound from above.
+    assert fraction <= 0.20, f"{name}: hashing cost {fraction:.1%} > 20%"
+
+
+def test_overheads_scale_with_messages(benchmark):
+    """Doubling the rounds roughly doubles check time (it is per-message)."""
+
+    def measure():
+        small = ot.run(rounds=50)
+        large = ot.run(rounds=100)
+        return (
+            small.execution.network.check_time,
+            large.execution.network.check_time,
+        )
+
+    small_cost, large_cost = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = large_cost / small_cost
+    benchmark.extra_info["scaling_ratio"] = round(ratio, 2)
+    assert 1.6 <= ratio <= 2.4
+
+
+def test_local_tokens_are_not_hashed(benchmark):
+    """Section 7.4: 'Hashes are not computed for tokens used locally' —
+    Tax's capabilities never leave their hosts, so it pays nothing."""
+    result = benchmark.pedantic(tax.run, rounds=1, iterations=1)
+    network = result.execution.network
+    assert network.hash_time <= 2 * network.cost.hash_cost

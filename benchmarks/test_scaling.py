@@ -1,0 +1,119 @@
+"""Scaling and WAN benchmarks.
+
+The paper argues (Section 7.3) that in a WAN, where message cost
+dominates, the partitioned programs win because rgoto/lgoto give a more
+expressive control flow than RMI's mandatory call-return.  We quantify
+that: message counts are exact protocol properties, so scaling rounds
+and swapping the latency model reproduces the argument directly.
+"""
+
+import pytest
+
+from repro.runtime import CostModel
+from repro.workloads import (
+    ot,
+    run_ot_handcoded,
+    run_tax_handcoded,
+    tax,
+    work,
+)
+
+#: The paper's LAN (310 µs ping over SSL ≈ 320 µs one-way)...
+LAN = CostModel(one_way_latency=320e-6)
+#: ...and a cross-country WAN (~40 ms one-way).
+WAN = CostModel(one_way_latency=40e-3)
+
+
+class TestScaling:
+    def test_ot_messages_scale_linearly(self, benchmark):
+        def measure():
+            small = ot.run(rounds=25)
+            large = ot.run(rounds=100)
+            return (
+                small.counts["total_messages"],
+                large.counts["total_messages"],
+            )
+
+        small_msgs, large_msgs = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        ratio = large_msgs / small_msgs
+        benchmark.extra_info["ratio"] = round(ratio, 2)
+        assert 3.4 <= ratio <= 4.6  # ~4x for 4x rounds
+
+    def test_work_messages_exactly_linear(self, benchmark):
+        def measure():
+            return [
+                work.run(rounds=n, inner=2).counts["total_messages"]
+                for n in (50, 100, 200)
+            ]
+
+        messages = benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert messages == [100, 200, 400]
+
+    def test_elapsed_tracks_messages(self, benchmark):
+        def measure():
+            small = tax.run(records=50)
+            large = tax.run(records=100)
+            return small.elapsed, large.elapsed
+
+        small_t, large_t = benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert 1.5 <= large_t / small_t <= 2.5
+
+
+class TestWanArgument:
+    def test_tax_wins_bigger_on_wan(self, benchmark):
+        """'In a WAN environment, the partitioned programs are likely to
+        execute more quickly than the hand-coded program' — with 40 ms
+        hops, Tax's smaller message count dominates everything else."""
+
+        def measure():
+            partitioned = tax.run(cost_model=WAN)
+            handcoded = run_tax_handcoded(cost_model=WAN)
+            return partitioned.elapsed, handcoded.elapsed
+
+        part_t, hand_t = benchmark.pedantic(measure, rounds=1, iterations=1)
+        benchmark.extra_info["speedup"] = round(hand_t / part_t, 2)
+        assert part_t < hand_t
+
+    def test_ot_gap_narrows_or_flips_on_wan(self, benchmark):
+        """OT sends ~12% more messages than OT-h on our partition, so on
+        a WAN the slowdown stays close to the message ratio — overheads
+        like hashing vanish into the latency."""
+
+        def measure():
+            lan_ratio = (
+                ot.run(cost_model=LAN).elapsed
+                / run_ot_handcoded(cost_model=LAN).elapsed
+            )
+            wan_part = ot.run(cost_model=WAN)
+            wan_hand = run_ot_handcoded(cost_model=WAN)
+            wan_ratio = wan_part.elapsed / wan_hand.elapsed
+            message_ratio = (
+                wan_part.counts["total_messages"]
+                / wan_hand.counts["total_messages"]
+            )
+            return lan_ratio, wan_ratio, message_ratio
+
+        lan_ratio, wan_ratio, message_ratio = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+        benchmark.extra_info["lan_slowdown"] = round(lan_ratio, 3)
+        benchmark.extra_info["wan_slowdown"] = round(wan_ratio, 3)
+        # On the WAN the slowdown converges to the pure message ratio.
+        assert abs(wan_ratio - message_ratio) < 0.05
+
+    def test_overhead_fractions_shrink_on_wan(self, benchmark):
+        def measure():
+            lan = work.run(cost_model=LAN)
+            wan = work.run(cost_model=WAN)
+            lan_net = lan.execution.network
+            wan_net = wan.execution.network
+            return (
+                lan_net.hash_time / lan_net.clock,
+                wan_net.hash_time / wan_net.clock,
+            )
+
+        lan_frac, wan_frac = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+        assert wan_frac < lan_frac

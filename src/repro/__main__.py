@@ -1,0 +1,5 @@
+"""``python -m repro`` — the command-line interface."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""Command-line interface: check, split, run, and report.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro check program.jif
+    python -m repro split program.jif --hosts hosts.json [--graph]
+    python -m repro run program.jif --hosts hosts.json [--opt-level N]
+    python -m repro table1
+    python -m repro fig4
+
+The hosts file is JSON::
+
+    {
+      "hosts": [
+        {"name": "A", "conf": "{Alice:}", "integ": "{?:Alice}"},
+        {"name": "B", "conf": "{Bob:}",   "integ": "{?:Bob}"}
+      ],
+      "preferences": [{"principal": "Alice", "host": "A", "weight": 0.5}],
+      "pins": [{"class": "C", "field": "f", "host": "A"}]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .lang import JifError, check_source
+from .runtime import DistributedExecutor
+from .splitter import SplitError, split_source
+from .trust import HostDescriptor, TrustConfiguration
+
+
+def load_trust_configuration(path: str) -> TrustConfiguration:
+    """Build a :class:`TrustConfiguration` from a JSON hosts file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    config = TrustConfiguration(
+        HostDescriptor.of(h["name"], h["conf"], h["integ"])
+        for h in data["hosts"]
+    )
+    for pref in data.get("preferences", ()):
+        config.set_preference(pref["principal"], pref["host"], pref["weight"])
+    for pin in data.get("pins", ()):
+        config.pin_field(pin["class"], pin["field"], pin["host"])
+    for link in data.get("links", ()):
+        config.set_link_cost(link["a"], link["b"], link["cost"])
+    return config
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = open(args.program).read()
+    try:
+        checked = check_source(source)
+    except JifError as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(checked.classes)} classes, "
+          f"{len(checked.methods)} methods, {len(checked.fields)} fields")
+    if args.verbose:
+        for key, info in sorted(checked.fields.items()):
+            print(f"  field {key[0]}.{key[1]}: {info.label} "
+                  f"(Loc = {{{info.loc_label}}})")
+        for key, method in sorted(checked.methods.items()):
+            print(f"  method {key[0]}.{key[1]}: begin {method.begin_label}, "
+                  f"returns {method.return_label}")
+    return 0
+
+
+def cmd_split(args: argparse.Namespace) -> int:
+    source = open(args.program).read()
+    config = load_trust_configuration(args.hosts)
+    try:
+        result = split_source(source, config)
+    except (JifError, SplitError) as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    split = result.split
+    print(f"split into {len(split.fragments)} fragments over "
+          f"{', '.join(split.hosts_used())}")
+    for placement in split.fields.values():
+        print(f"  field {placement.cls}.{placement.field} -> "
+              f"{placement.host}")
+    if args.graph:
+        from .reporting import fig4
+
+        print()
+        print(fig4.render(result))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = open(args.program).read()
+    config = load_trust_configuration(args.hosts)
+    try:
+        result = split_source(source, config)
+    except (JifError, SplitError) as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    executor = DistributedExecutor(result.split, opt_level=args.opt_level)
+    outcome = executor.run()
+    print(f"completed in {outcome.elapsed:.4f} simulated seconds")
+    print(f"messages: {outcome.counts}")
+    for (cls, field), placement in sorted(result.split.fields.items()):
+        try:
+            value = outcome.field_value(cls, field)
+        except KeyError:
+            continue
+        print(f"  {cls}.{field} = {value}")
+    if outcome.audits:
+        print("audit log:")
+        for entry in outcome.audits:
+            print(f"  * {entry}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .reporting.table1 import render
+
+    print(render())
+    return 0
+
+
+def cmd_fig4(args: argparse.Namespace) -> int:
+    from .reporting import fig4
+    from .workloads import ot
+
+    result = split_source(ot.source(rounds=1), ot.config())
+    print(fig4.render(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure program partitioning (Jif/split, SOSP 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="type-check a mini-Jif program")
+    check.add_argument("program")
+    check.add_argument("-v", "--verbose", action="store_true")
+    check.set_defaults(func=cmd_check)
+
+    split = sub.add_parser("split", help="partition a program")
+    split.add_argument("program")
+    split.add_argument("--hosts", required=True, help="hosts JSON file")
+    split.add_argument("--graph", action="store_true",
+                       help="print the Figure 4-style fragment graph")
+    split.set_defaults(func=cmd_split)
+
+    run = sub.add_parser("run", help="partition and execute a program")
+    run.add_argument("program")
+    run.add_argument("--hosts", required=True)
+    run.add_argument("--opt-level", type=int, default=1, choices=(0, 1, 2))
+    run.set_defaults(func=cmd_run)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.set_defaults(func=cmd_table1)
+
+    fig4 = sub.add_parser("fig4", help="print the Figure 4 partition")
+    fig4.set_defaults(func=cmd_fig4)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

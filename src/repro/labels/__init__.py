@@ -1,0 +1,38 @@
+"""The decentralized label model: principals, labels, and the label lattice."""
+
+from .principals import ActsForHierarchy, EMPTY_HIERARCHY, Principal, principals
+from .labels import (
+    C,
+    ConfLabel,
+    ConfPolicy,
+    I,
+    IntegLabel,
+    Label,
+    join_all,
+    meet_all,
+)
+from .parser import (
+    LabelSyntaxError,
+    parse_conf_label,
+    parse_integ_label,
+    parse_label,
+)
+
+__all__ = [
+    "ActsForHierarchy",
+    "EMPTY_HIERARCHY",
+    "Principal",
+    "principals",
+    "C",
+    "ConfLabel",
+    "ConfPolicy",
+    "I",
+    "IntegLabel",
+    "Label",
+    "join_all",
+    "meet_all",
+    "LabelSyntaxError",
+    "parse_conf_label",
+    "parse_integ_label",
+    "parse_label",
+]

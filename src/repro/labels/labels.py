@@ -1,0 +1,440 @@
+"""The decentralized label model (DLM) with integrity, per Section 2.1.
+
+A full :class:`Label` has two parts:
+
+* a **confidentiality** part (:class:`ConfLabel`): a set of policies
+  ``{o: r1, ..., rn}``, each stating that owner ``o`` permits readers
+  ``r1..rn`` (and implicitly ``o``) to see the data.  All policies must be
+  obeyed simultaneously, so the effective reader set is the intersection
+  of the per-owner effective reader sets.
+
+* an **integrity** part (:class:`IntegLabel`): ``{?: p1, ..., pn}`` — the
+  set of principals who trust the data to have been computed by the
+  program as written.
+
+``L1 ⊑ L2`` ("L1 is less restrictive than L2") holds when L2 specifies at
+least as much confidentiality and *at most* as much integrity as L1
+(confidentiality and integrity are duals).  The equivalence classes of ⊑
+form a distributive lattice with join ``⊔`` and meet ``⊓``.
+
+Both parts support a distinguished extreme element so that the lattice is
+bounded without fixing a principal universe:
+
+* ``ConfLabel.top()`` — secret to everyone (no reader suffices);
+* ``IntegLabel.bottom()`` — trusted by every principal (maximal trust,
+  the integrity of program constants).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from .principals import ActsForHierarchy, EMPTY_HIERARCHY, Principal
+
+
+def _as_principal(p) -> Principal:
+    if isinstance(p, Principal):
+        return p
+    if isinstance(p, str):
+        return Principal(p)
+    raise TypeError(f"expected Principal or str, got {type(p).__name__}")
+
+
+class ConfPolicy:
+    """A single confidentiality policy ``{owner: readers}``."""
+
+    __slots__ = ("owner", "readers")
+
+    def __init__(self, owner, readers: Iterable = ()) -> None:
+        object.__setattr__(self, "owner", _as_principal(owner))
+        object.__setattr__(
+            self, "readers", frozenset(_as_principal(r) for r in readers)
+        )
+
+    def __setattr__(self, attr, value) -> None:
+        raise AttributeError("ConfPolicy is immutable")
+
+    def effective_readers(
+        self, hierarchy: ActsForHierarchy = EMPTY_HIERARCHY
+    ) -> FrozenSet[Principal]:
+        """Principals permitted to read under this policy.
+
+        The owner always may read; with delegation, anyone who acts for a
+        permitted reader may read too (the set is upward closed).
+        """
+        base = self.readers | {self.owner}
+        closed = set(base)
+        for reader in base:
+            closed |= hierarchy.superiors_of(reader)
+        return frozenset(closed)
+
+    def covers(
+        self, other: "ConfPolicy", hierarchy: ActsForHierarchy = EMPTY_HIERARCHY
+    ) -> bool:
+        """True when this policy is at least as restrictive as ``other``.
+
+        Requires this owner to act for the other's owner, and every reader
+        effectively permitted here to be permitted by ``other``.
+        """
+        if not hierarchy.acts_for(self.owner, other.owner):
+            return False
+        allowed = other.effective_readers(hierarchy)
+        return all(
+            reader in allowed for reader in self.effective_readers(hierarchy)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConfPolicy):
+            return self.owner == other.owner and self.readers == other.readers
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.owner, self.readers))
+
+    def __str__(self) -> str:
+        readers = ", ".join(sorted(r.name for r in self.readers))
+        return f"{self.owner}: {readers}" if readers else f"{self.owner}:"
+
+    def __repr__(self) -> str:
+        return f"ConfPolicy({str(self)!r})"
+
+
+class ConfLabel:
+    """The confidentiality part of a label: a join of :class:`ConfPolicy`.
+
+    Canonical form keeps one policy per owner (same-owner policies merge
+    by intersecting their reader sets, since all must be obeyed).
+    """
+
+    __slots__ = ("_policies", "_is_top")
+
+    def __init__(self, policies: Iterable[ConfPolicy] = ()) -> None:
+        merged: Dict[Principal, FrozenSet[Principal]] = {}
+        for policy in policies:
+            if policy.owner in merged:
+                merged[policy.owner] = merged[policy.owner] & policy.readers
+            else:
+                merged[policy.owner] = policy.readers
+        object.__setattr__(
+            self,
+            "_policies",
+            frozenset(ConfPolicy(o, rs) for o, rs in merged.items()),
+        )
+        object.__setattr__(self, "_is_top", False)
+
+    def __setattr__(self, attr, value) -> None:
+        raise AttributeError("ConfLabel is immutable")
+
+    @classmethod
+    def public(cls) -> "ConfLabel":
+        """The bottom element: readable by everyone."""
+        return cls(())
+
+    @classmethod
+    def top(cls) -> "ConfLabel":
+        """The top element: too confidential for any host or reader."""
+        label = cls(())
+        object.__setattr__(label, "_is_top", True)
+        return label
+
+    @property
+    def is_top(self) -> bool:
+        return self._is_top
+
+    @property
+    def is_public(self) -> bool:
+        return not self._is_top and not self._policies
+
+    @property
+    def policies(self) -> FrozenSet[ConfPolicy]:
+        return self._policies
+
+    def owners(self) -> FrozenSet[Principal]:
+        return frozenset(p.owner for p in self._policies)
+
+    def readers_for(self, owner: Principal) -> Optional[FrozenSet[Principal]]:
+        """Reader set for ``owner``'s policy, or None when unconstrained."""
+        for policy in self._policies:
+            if policy.owner == owner:
+                return policy.readers
+        return None
+
+    def effective_readers(
+        self, universe: Iterable[Principal],
+        hierarchy: ActsForHierarchy = EMPTY_HIERARCHY,
+    ) -> FrozenSet[Principal]:
+        """Principals in ``universe`` allowed to read under every policy."""
+        if self._is_top:
+            return frozenset()
+        allowed = frozenset(universe)
+        for policy in self._policies:
+            allowed &= policy.effective_readers(hierarchy)
+        return allowed
+
+    def flows_to(
+        self, other: "ConfLabel", hierarchy: ActsForHierarchy = EMPTY_HIERARCHY
+    ) -> bool:
+        """The relabeling rule ``self ⊑ other`` for confidentiality.
+
+        Every policy here must be covered by some policy of ``other``:
+        adding owners or removing readers only makes a label more
+        restrictive, never less.
+        """
+        if other._is_top:
+            return True
+        if self._is_top:
+            return False
+        return all(
+            any(theirs.covers(mine, hierarchy) for theirs in other._policies)
+            for mine in self._policies
+        )
+
+    def join(self, other: "ConfLabel") -> "ConfLabel":
+        """Least upper bound: all policies of both labels."""
+        if self._is_top or other._is_top:
+            return ConfLabel.top()
+        return ConfLabel(tuple(self._policies) + tuple(other._policies))
+
+    def meet(self, other: "ConfLabel") -> "ConfLabel":
+        """Greatest lower bound: shared owners, union of their readers."""
+        if self._is_top:
+            return other
+        if other._is_top:
+            return self
+        mine = {p.owner: p.readers for p in self._policies}
+        theirs = {p.owner: p.readers for p in other._policies}
+        shared = set(mine) & set(theirs)
+        return ConfLabel(
+            ConfPolicy(o, mine[o] | theirs[o]) for o in sorted(shared)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConfLabel):
+            return (
+                self._is_top == other._is_top
+                and self._policies == other._policies
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._is_top, self._policies))
+
+    def __str__(self) -> str:
+        if self._is_top:
+            return "<top>"
+        return "; ".join(sorted(str(p) for p in self._policies))
+
+    def __repr__(self) -> str:
+        return f"ConfLabel({str(self)!r})"
+
+
+class IntegLabel:
+    """The integrity part of a label: ``{?: p1, ..., pn}``.
+
+    ``trust`` is the set of principals who believe the data was computed
+    by the program as written.  *More* trust means *fewer* restrictions,
+    so integrity order is the reverse of trust-set inclusion:
+    ``I1 ⊑ I2  iff  trust(I2) ⊆ trust(I1)`` (modulo acts-for).
+    """
+
+    __slots__ = ("_trust", "_is_bottom")
+
+    def __init__(self, trust: Iterable = ()) -> None:
+        object.__setattr__(
+            self, "_trust", frozenset(_as_principal(p) for p in trust)
+        )
+        object.__setattr__(self, "_is_bottom", False)
+
+    def __setattr__(self, attr, value) -> None:
+        raise AttributeError("IntegLabel is immutable")
+
+    @classmethod
+    def untrusted(cls) -> "IntegLabel":
+        """The top element: trusted by nobody (maximal restriction)."""
+        return cls(())
+
+    @classmethod
+    def bottom(cls) -> "IntegLabel":
+        """The bottom element: trusted by every principal.
+
+        This is the integrity of program constants — they are literally
+        part of the program as written.
+        """
+        label = cls(())
+        object.__setattr__(label, "_is_bottom", True)
+        return label
+
+    @property
+    def is_bottom(self) -> bool:
+        return self._is_bottom
+
+    @property
+    def is_untrusted(self) -> bool:
+        return not self._is_bottom and not self._trust
+
+    @property
+    def trust(self) -> FrozenSet[Principal]:
+        return self._trust
+
+    def trusted_by(
+        self, principal, hierarchy: ActsForHierarchy = EMPTY_HIERARCHY
+    ) -> bool:
+        """Does ``principal`` trust data carrying this label?"""
+        principal = _as_principal(principal)
+        if self._is_bottom:
+            return True
+        return any(
+            hierarchy.acts_for(witness, principal) for witness in self._trust
+        )
+
+    def flows_to(
+        self, other: "IntegLabel", hierarchy: ActsForHierarchy = EMPTY_HIERARCHY
+    ) -> bool:
+        """``self ⊑ other``: other may claim at most as much trust."""
+        if self._is_bottom:
+            return True
+        if other._is_bottom:
+            return False
+        return all(
+            self.trusted_by(principal, hierarchy) for principal in other._trust
+        )
+
+    def join(self, other: "IntegLabel") -> "IntegLabel":
+        """Least upper bound: only trust claims both labels support."""
+        if self._is_bottom:
+            return other
+        if other._is_bottom:
+            return self
+        return IntegLabel(self._trust & other._trust)
+
+    def meet(self, other: "IntegLabel") -> "IntegLabel":
+        """Greatest lower bound: combined trust."""
+        if self._is_bottom or other._is_bottom:
+            return IntegLabel.bottom()
+        return IntegLabel(self._trust | other._trust)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntegLabel):
+            return (
+                self._is_bottom == other._is_bottom
+                and self._trust == other._trust
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._is_bottom, self._trust))
+
+    def __str__(self) -> str:
+        if self._is_bottom:
+            return "?: *"
+        names = ", ".join(sorted(p.name for p in self._trust))
+        return f"?: {names}" if names else "?:"
+
+    def __repr__(self) -> str:
+        return f"IntegLabel({str(self)!r})"
+
+
+class Label:
+    """A full security label: confidentiality and integrity together."""
+
+    __slots__ = ("conf", "integ")
+
+    def __init__(
+        self,
+        conf: Optional[ConfLabel] = None,
+        integ: Optional[IntegLabel] = None,
+    ) -> None:
+        object.__setattr__(self, "conf", conf or ConfLabel.public())
+        object.__setattr__(self, "integ", integ or IntegLabel.untrusted())
+
+    def __setattr__(self, attr, value) -> None:
+        raise AttributeError("Label is immutable")
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def public_untrusted(cls) -> "Label":
+        """No confidentiality restriction, no integrity claim."""
+        return cls(ConfLabel.public(), IntegLabel.untrusted())
+
+    @classmethod
+    def constant(cls) -> "Label":
+        """The label of a program constant: public, trusted by all.
+
+        This is the bottom of the full label lattice.
+        """
+        return cls(ConfLabel.public(), IntegLabel.bottom())
+
+    @classmethod
+    def of(cls, spec: str) -> "Label":
+        """Parse a label literal such as ``{Alice: Bob; ?: Alice}``."""
+        from .parser import parse_label
+
+        return parse_label(spec)
+
+    # -- lattice operations --------------------------------------------------
+
+    def flows_to(
+        self, other: "Label", hierarchy: ActsForHierarchy = EMPTY_HIERARCHY
+    ) -> bool:
+        """``self ⊑ other``: other is at least as restrictive."""
+        return self.conf.flows_to(other.conf, hierarchy) and self.integ.flows_to(
+            other.integ, hierarchy
+        )
+
+    def join(self, other: "Label") -> "Label":
+        return Label(self.conf.join(other.conf), self.integ.join(other.integ))
+
+    def meet(self, other: "Label") -> "Label":
+        return Label(self.conf.meet(other.conf), self.integ.meet(other.integ))
+
+    def with_conf(self, conf: ConfLabel) -> "Label":
+        return Label(conf, self.integ)
+
+    def with_integ(self, integ: IntegLabel) -> "Label":
+        return Label(self.conf, integ)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Label):
+            return self.conf == other.conf and self.integ == other.integ
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.conf, self.integ))
+
+    def __str__(self) -> str:
+        parts = []
+        if not self.conf.is_public:
+            parts.append(str(self.conf))
+        if not self.integ.is_untrusted:
+            parts.append(str(self.integ))
+        return "{" + "; ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return f"Label({str(self)!r})"
+
+
+def C(label: Label) -> ConfLabel:
+    """Extract the confidentiality part of a label (paper notation)."""
+    return label.conf
+
+
+def I(label: Label) -> IntegLabel:  # noqa: E743 - paper notation
+    """Extract the integrity part of a label (paper notation)."""
+    return label.integ
+
+
+def join_all(labels: Iterable[Label]) -> Label:
+    """⊔ of a collection of labels (identity: the constant label ⊥)."""
+    result = Label.constant()
+    for label in labels:
+        result = result.join(label)
+    return result
+
+
+def meet_all(labels: Iterable[Label]) -> Label:
+    """⊓ of a collection of labels (identity: the top label ⊤)."""
+    result = Label(ConfLabel.top(), IntegLabel.untrusted())
+    for label in labels:
+        result = result.meet(label)
+    return result

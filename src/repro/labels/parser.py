@@ -1,0 +1,107 @@
+"""Parser for label literals.
+
+Grammar (whitespace-insensitive)::
+
+    label      ::= "{" [component (";" component)*] "}"
+    component  ::= conf | integ
+    conf       ::= principal ":" [principal ("," principal)*]
+    integ      ::= "?" ":" [principal ("," principal)*]
+    principal  ::= identifier | "*"            (only "?: *" — trusted by all)
+
+Examples from the paper::
+
+    {Alice:; ?:Alice}        Alice owns it, nobody else reads, Alice trusts it
+    {o1: r1, r2; o2: r1, r3} two owners, effective readers = {r1}
+    {Bob:}                   Bob owns it, only Bob reads
+    {}                       public, untrusted
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .labels import ConfLabel, ConfPolicy, IntegLabel, Label
+
+
+class LabelSyntaxError(ValueError):
+    """Raised when a label literal cannot be parsed."""
+
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _parse_principal_list(text: str, context: str) -> List[str]:
+    text = text.strip()
+    if not text:
+        return []
+    names = [name.strip() for name in text.split(",")]
+    for name in names:
+        if name != "*" and not _IDENT.match(name):
+            raise LabelSyntaxError(
+                f"invalid principal {name!r} in {context}"
+            )
+    return names
+
+
+def parse_label(spec: str) -> Label:
+    """Parse a label literal such as ``{Alice: Bob; ?: Alice}``."""
+    text = spec.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise LabelSyntaxError(f"label must be enclosed in braces: {spec!r}")
+    body = text[1:-1].strip()
+    conf_policies: List[ConfPolicy] = []
+    integ = IntegLabel.untrusted()
+    saw_integ = False
+    if body:
+        for component in body.split(";"):
+            component = component.strip()
+            if not component:
+                continue
+            if ":" not in component:
+                raise LabelSyntaxError(
+                    f"label component missing ':': {component!r}"
+                )
+            head, _, tail = component.partition(":")
+            head = head.strip()
+            if head == "?":
+                if saw_integ:
+                    raise LabelSyntaxError(
+                        f"duplicate integrity component in {spec!r}"
+                    )
+                saw_integ = True
+                names = _parse_principal_list(tail, spec)
+                if "*" in names:
+                    if names != ["*"]:
+                        raise LabelSyntaxError(
+                            "'*' must be the sole trusted principal"
+                        )
+                    integ = IntegLabel.bottom()
+                else:
+                    integ = IntegLabel(names)
+            else:
+                if not _IDENT.match(head):
+                    raise LabelSyntaxError(f"invalid owner {head!r} in {spec!r}")
+                readers = _parse_principal_list(tail, spec)
+                if "*" in readers:
+                    raise LabelSyntaxError("'*' is not a valid reader")
+                conf_policies.append(ConfPolicy(head, readers))
+    return Label(ConfLabel(conf_policies), integ)
+
+
+def parse_conf_label(spec: str) -> ConfLabel:
+    """Parse a confidentiality-only label literal like ``{Alice:; Bob:}``."""
+    label = parse_label(spec)
+    if not label.integ.is_untrusted:
+        raise LabelSyntaxError(
+            f"expected a confidentiality-only label, got {spec!r}"
+        )
+    return label.conf
+
+
+def parse_integ_label(spec: str) -> IntegLabel:
+    """Parse an integrity-only label literal like ``{?: Alice}``."""
+    label = parse_label(spec)
+    if label.conf.policies:
+        raise LabelSyntaxError(f"expected an integrity-only label, got {spec!r}")
+    return label.integ

@@ -1,0 +1,123 @@
+"""Principals of the decentralized label model.
+
+A *principal* is an entity (user, process, party) that can have a
+confidentiality or integrity concern with respect to data (Section 2.1 of
+the paper).  Principals may delegate to one another through the *acts-for*
+hierarchy; the hierarchy is reflexive and transitive.  The Jif/split paper
+does not exercise acts-for, but full Jif provides it, so the hierarchy is
+implemented here and honoured by the label ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set
+
+
+class Principal:
+    """A named principal.
+
+    Principals are interned: constructing two principals with the same
+    name yields the same object, so identity and equality coincide.
+    """
+
+    _interned: Dict[str, "Principal"] = {}
+
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "Principal":
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid principal name: {name!r}")
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        principal = super().__new__(cls)
+        object.__setattr__(principal, "name", name)
+        cls._interned[name] = principal
+        return principal
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        raise AttributeError("Principal is immutable")
+
+    def __repr__(self) -> str:
+        return f"Principal({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Principal):
+            return self.name == other.name
+        return NotImplemented
+
+    def __lt__(self, other: "Principal") -> bool:
+        return self.name < other.name
+
+
+def principals(*names: str) -> tuple:
+    """Convenience constructor: ``alice, bob = principals("Alice", "Bob")``."""
+    return tuple(Principal(name) for name in names)
+
+
+class ActsForHierarchy:
+    """The acts-for (delegation) relation between principals.
+
+    ``hierarchy.acts_for(p, q)`` is true when ``p`` can act for ``q``,
+    i.e. ``p`` is at least as powerful as ``q``.  The relation is
+    reflexive and transitively closed on every query.
+
+    An empty hierarchy (no delegations) is the model used throughout the
+    paper's examples and benchmarks.
+    """
+
+    def __init__(self, edges: Iterable[tuple] = ()) -> None:
+        self._superiors: Dict[Principal, Set[Principal]] = {}
+        for actor, target in edges:
+            self.add(actor, target)
+
+    def add(self, actor: Principal, target: Principal) -> None:
+        """Declare that ``actor`` acts for ``target``."""
+        self._superiors.setdefault(target, set()).add(actor)
+
+    def acts_for(self, actor: Principal, target: Principal) -> bool:
+        """True when ``actor`` can act for ``target`` (reflexive, transitive)."""
+        if actor == target:
+            return True
+        seen: Set[Principal] = set()
+        frontier = [target]
+        while frontier:
+            current = frontier.pop()
+            for superior in self._superiors.get(current, ()):
+                if superior == actor:
+                    return True
+                if superior not in seen:
+                    seen.add(superior)
+                    frontier.append(superior)
+        return False
+
+    def superiors_of(self, target: Principal) -> FrozenSet[Principal]:
+        """All principals that act for ``target``, including itself."""
+        result: Set[Principal] = {target}
+        frontier = [target]
+        while frontier:
+            current = frontier.pop()
+            for superior in self._superiors.get(current, ()):
+                if superior not in result:
+                    result.add(superior)
+                    frontier.append(superior)
+        return frozenset(result)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for target, actors in sorted(self._superiors.items()):
+            for actor in sorted(actors):
+                yield (actor, target)
+
+    def __repr__(self) -> str:
+        edges = ", ".join(f"{a}≽{t}" for a, t in self)
+        return f"ActsForHierarchy({edges})"
+
+
+#: The empty hierarchy: no delegation, as assumed by the paper's examples.
+EMPTY_HIERARCHY = ActsForHierarchy()

@@ -1,0 +1,45 @@
+"""The mini-Jif security-typed language: lexer, parser, AST, type checker."""
+
+from . import ast
+from .errors import (
+    AuthorityError,
+    JifError,
+    LexError,
+    ParseError,
+    SecurityError,
+    SourcePosition,
+    TypeError_,
+)
+from .lexer import Token, tokenize
+from .parser import parse_expr, parse_program, parse_stmt
+from .pretty import pretty_expr, pretty_program
+from .typecheck import (
+    CheckedProgram,
+    FieldInfo,
+    MethodInfo,
+    check_program,
+    check_source,
+)
+
+__all__ = [
+    "ast",
+    "AuthorityError",
+    "JifError",
+    "LexError",
+    "ParseError",
+    "SecurityError",
+    "SourcePosition",
+    "TypeError_",
+    "Token",
+    "tokenize",
+    "parse_expr",
+    "parse_program",
+    "parse_stmt",
+    "pretty_expr",
+    "pretty_program",
+    "CheckedProgram",
+    "FieldInfo",
+    "MethodInfo",
+    "check_program",
+    "check_source",
+]

@@ -1,0 +1,68 @@
+"""Diagnostics for the mini-Jif front end.
+
+All front-end failures carry a source position so that, as in the paper,
+"the error pinpoints the read channel introduced" or the label constraint
+that failed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SourcePosition:
+    """A (line, column) position in a source file, 1-based."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourcePosition({self.line}, {self.column})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SourcePosition):
+            return (self.line, self.column) == (other.line, other.column)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+#: Position used for synthesized nodes with no source location.
+NO_POSITION = SourcePosition(0, 0)
+
+
+class JifError(Exception):
+    """Base class for all mini-Jif front-end errors."""
+
+    def __init__(self, message: str, pos: Optional[SourcePosition] = None) -> None:
+        self.pos = pos or NO_POSITION
+        self.message = message
+        where = f" at {self.pos}" if self.pos is not NO_POSITION else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(JifError):
+    """A character sequence that is not a valid token."""
+
+
+class ParseError(JifError):
+    """A token sequence that is not a valid program."""
+
+
+class TypeError_(JifError):
+    """A base-type error (int vs boolean vs reference)."""
+
+
+class SecurityError(JifError):
+    """An information-flow violation: some label constraint failed."""
+
+
+class AuthorityError(SecurityError):
+    """A declassification or endorsement without sufficient authority."""

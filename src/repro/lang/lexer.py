@@ -1,0 +1,163 @@
+"""Lexer for the mini-Jif surface language.
+
+The token set covers the subset of Jif exercised by the paper: Java-like
+classes, fields, methods, the usual expression operators, plus label
+literals (``{Alice:; ?:Alice}``), ``declassify``/``endorse``, and
+``authority`` clauses.  Label literals are tokenized as ordinary
+punctuation; the parser reassembles them (it always knows from context
+whether a ``{`` opens a label or a block).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from .errors import LexError, SourcePosition
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "int",
+        "boolean",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "true",
+        "false",
+        "null",
+        "new",
+        "this",
+        "declassify",
+        "endorse",
+        "authority",
+        "where",
+    }
+)
+
+# Multi-character operators first so maximal munch works by ordering.
+_OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    ".",
+    "?",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+]
+
+
+class Token(NamedTuple):
+    kind: str  # "ident", "int", "keyword", or the operator text itself
+    text: str
+    pos: SourcePosition
+
+    def is_op(self, text: str) -> bool:
+        return self.kind == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+
+EOF_KIND = "<eof>"
+
+
+class Lexer:
+    """A hand-written maximal-munch lexer with ``//`` and ``/* */`` comments."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._index = 0
+        self._line = 1
+        self._column = 1
+
+    def _pos(self) -> SourcePosition:
+        return SourcePosition(self._line, self._column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._index + offset
+        return self._source[index] if index < len(self._source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self._index < len(self._source):
+                if self._source[self._index] == "\n":
+                    self._line += 1
+                    self._column = 1
+                else:
+                    self._column += 1
+                self._index += 1
+
+    def _skip_trivia(self) -> None:
+        while self._index < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._index < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._pos()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self._index >= len(self._source):
+                        raise LexError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self._index >= len(self._source):
+                yield Token(EOF_KIND, "", self._pos())
+                return
+            pos = self._pos()
+            ch = self._peek()
+            if ch.isalpha() or ch == "_":
+                start = self._index
+                while self._peek().isalnum() or self._peek() == "_":
+                    self._advance()
+                text = self._source[start : self._index]
+                kind = "keyword" if text in KEYWORDS else "ident"
+                yield Token(kind, text, pos)
+            elif ch.isdigit():
+                start = self._index
+                while self._peek().isdigit():
+                    self._advance()
+                yield Token("int", self._source[start : self._index], pos)
+            else:
+                for op in _OPERATORS:
+                    if self._source.startswith(op, self._index):
+                        self._advance(len(op))
+                        yield Token(op, op, pos)
+                        break
+                else:
+                    raise LexError(f"unexpected character {ch!r}", pos)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, appending a single end-of-file token."""
+    return list(Lexer(source).tokens())

@@ -1,0 +1,163 @@
+"""Pretty-printer for mini-Jif ASTs.
+
+Produces parseable source text: ``parse(pretty(parse(s)))`` equals
+``parse(s)`` structurally.  Used by diagnostics, the documentation
+examples, and the parser round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..labels import Label
+from . import ast
+
+_INDENT = "  "
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def _label(label: Label) -> str:
+    return str(label)
+
+
+def _type(node: ast.TypeNode) -> str:
+    base = node.base
+    suffix = ""
+    if base.endswith("[]"):
+        base = base[:-2]
+        suffix = "[]"
+    if node.label is None:
+        return base + suffix
+    return f"{base}{_label(node.label)}{suffix}"
+
+
+def pretty_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.NullLit):
+        return "null"
+    if isinstance(expr, ast.Var):
+        return expr.name
+    if isinstance(expr, ast.FieldAccess):
+        if expr.target is None:
+            return f"this.{expr.field}"
+        return f"{pretty_expr(expr.target, 10)}.{expr.field}"
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = pretty_expr(expr.left, prec)
+        # Right operand needs parens at equal precedence (left assoc).
+        right = pretty_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{pretty_expr(expr.operand, 9)}"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.method}({args})"
+    if isinstance(expr, ast.New):
+        return f"new {expr.class_name}()"
+    if isinstance(expr, ast.NewArray):
+        return f"new int[{pretty_expr(expr.length)}]"
+    if isinstance(expr, ast.ArrayAccess):
+        return f"{pretty_expr(expr.array, 10)}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, ast.ArrayLength):
+        return f"{pretty_expr(expr.array, 10)}.length"
+    if isinstance(expr, ast.Declassify):
+        return f"declassify({pretty_expr(expr.expr)}, {_label(expr.label)})"
+    if isinstance(expr, ast.Endorse):
+        return f"endorse({pretty_expr(expr.expr)}, {_label(expr.label)})"
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _stmt_lines(stmt: ast.Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        for inner in stmt.stmts:
+            lines.extend(_stmt_lines(inner, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, ast.VarDecl):
+        init = f" = {pretty_expr(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}{_type(stmt.type)} {stmt.name}{init};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{pretty_expr(stmt.target)} = {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({pretty_expr(stmt.cond)})"]
+        lines.extend(_branch_lines(stmt.then_branch, depth))
+        if stmt.else_branch is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_branch_lines(stmt.else_branch, depth))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({pretty_expr(stmt.cond)})"]
+        lines.extend(_branch_lines(stmt.body, depth))
+        return lines
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {pretty_expr(stmt.value)};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{pretty_expr(stmt.expr)};"]
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _branch_lines(stmt: ast.Stmt, depth: int) -> List[str]:
+    if isinstance(stmt, ast.Block):
+        return _stmt_lines(stmt, depth)
+    return _stmt_lines(stmt, depth + 1)
+
+
+def pretty_method(method: ast.MethodDecl, depth: int = 1) -> str:
+    pad = _INDENT * depth
+    begin = _label(method.begin_label) if method.begin_label else ""
+    params = ", ".join(f"{_type(p.type)} {p.name}" for p in method.params)
+    authority = ""
+    if method.authority:
+        names = ", ".join(p.name for p in method.authority)
+        authority = f" where authority({names})"
+    end = f" : {_label(method.end_label)}" if method.end_label else ""
+    header = (
+        f"{pad}{_type(method.return_type)} {method.name}{begin}"
+        f"({params}){authority}{end}"
+    )
+    body = "\n".join(_stmt_lines(method.body, depth))
+    return f"{header}\n{body}"
+
+
+def pretty_class(cls: ast.ClassDecl) -> str:
+    authority = ""
+    if cls.authority:
+        names = ", ".join(p.name for p in cls.authority)
+        authority = f" authority({names})"
+    lines = [f"class {cls.name}{authority} {{"]
+    for field in cls.fields:
+        init = f" = {pretty_expr(field.init)}" if field.init is not None else ""
+        lines.append(f"{_INDENT}{_type(field.type)} {field.name}{init};")
+    for method in cls.methods:
+        lines.append("")
+        lines.append(pretty_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a whole program as parseable source."""
+    return "\n\n".join(pretty_class(cls) for cls in program.classes) + "\n"

@@ -1,0 +1,6 @@
+"""Harnesses that regenerate the paper's tables and figures."""
+
+from . import experiments, fig4, table1
+from .table1 import PAPER_TABLE1, measure, render
+
+__all__ = ["experiments", "fig4", "table1", "PAPER_TABLE1", "measure", "render"]

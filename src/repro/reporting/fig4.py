@@ -1,0 +1,117 @@
+"""Renders a split program's control-flow graph, reproducing Figure 4:
+the partitioned oblivious transfer across hosts A, B and T, with its
+entry points, sync/rgoto/lgoto edges, and data forwards."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..splitter import SplitResult
+from ..splitter.fragments import (
+    Fragment,
+    OpAssignVar,
+    OpForward,
+    OpSetField,
+    SplitProgram,
+    TermBranch,
+    TermCall,
+    TermJump,
+    TermReturn,
+)
+
+
+def _describe_plan(plan) -> str:
+    return "; ".join(
+        f"{action.kind} {action.entry}" if action.entry else action.kind
+        for action in plan
+    )
+
+
+def _describe_fragment(split: SplitProgram, fragment: Fragment) -> List[str]:
+    lines = [
+        f"entry {fragment.entry}  "
+        f"[I_e = {{{fragment.integ}}}; invokers: "
+        f"{', '.join(sorted(split.entry_invokers(fragment.entry))) or 'none'}]"
+    ]
+    for op in fragment.ops:
+        if isinstance(op, OpAssignVar):
+            lines.append(f"    {op.var} := {op.expr!r}")
+        elif isinstance(op, OpSetField):
+            lines.append(f"    {op.cls}.{op.field} := {op.expr!r}")
+        elif isinstance(op, OpForward):
+            lines.append(f"    forward {op.var} -> {', '.join(op.hosts)}")
+    terminator = fragment.terminator
+    if isinstance(terminator, TermJump):
+        lines.append(f"    => {_describe_plan(terminator.plan)}")
+    elif isinstance(terminator, TermBranch):
+        lines.append(f"    if {terminator.cond!r}")
+        lines.append(f"      then => {_describe_plan(terminator.plan_true)}")
+        lines.append(f"      else => {_describe_plan(terminator.plan_false)}")
+    elif isinstance(terminator, TermCall):
+        lines.append(
+            f"    call {terminator.callee_entry} "
+            f"(sync cont {terminator.cont_entry}; "
+            f"result -> {', '.join(terminator.result_hosts) or 'dropped'})"
+        )
+    elif isinstance(terminator, TermReturn):
+        lines.append(f"    return {terminator.expr!r} (lgoto caller)")
+    return lines
+
+
+def render(result: SplitResult) -> str:
+    """Render the whole partition grouped by host, Figure 4 style."""
+    split = result.split
+    output: List[str] = []
+    output.append(
+        f"Partition of {len(split.fragments)} fragments over hosts "
+        f"{', '.join(split.hosts_used())} (main: {split.main_entry})"
+    )
+    output.append("")
+    for host in split.hosts_used():
+        output.append(f"=== Host {host} ===")
+        placements = split.fields_on(host)
+        if placements:
+            fields = ", ".join(
+                f"{p.cls}.{p.field}{p.label}" for p in placements
+            )
+            output.append(f"  fields: {fields}")
+        for fragment in split.fragments_on(host):
+            for line in _describe_fragment(split, fragment):
+                output.append("  " + line)
+        output.append("")
+    return "\n".join(output)
+
+
+def edge_summary(result: SplitResult) -> Dict[str, int]:
+    """Count control edges by kind — the Figure 4 arrow inventory."""
+    counts = {"rgoto": 0, "lgoto": 0, "sync": 0, "local": 0, "call": 0,
+              "return": 0}
+    for fragment in result.split.fragments.values():
+        terminator = fragment.terminator
+        plans = []
+        if isinstance(terminator, TermJump):
+            plans = [terminator.plan]
+        elif isinstance(terminator, TermBranch):
+            plans = [terminator.plan_true, terminator.plan_false]
+        elif isinstance(terminator, TermCall):
+            counts["call"] += 1
+        elif isinstance(terminator, TermReturn):
+            counts["return"] += 1
+        for plan in plans:
+            for action in plan:
+                if action.kind in counts:
+                    counts[action.kind] += 1
+    return counts
+
+
+def main() -> None:
+    from ..workloads import ot
+
+    result_split = __import__(
+        "repro.splitter", fromlist=["split_source"]
+    ).split_source(ot.source(rounds=1), ot.config())
+    print(render(result_split))
+
+
+if __name__ == "__main__":
+    main()

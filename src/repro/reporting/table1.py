@@ -1,0 +1,128 @@
+"""Regenerates Table 1: benchmark measurements for List, OT, Tax, Work,
+and the hand-coded OT-h and Tax-h.
+
+Paper rows: Lines, Elapsed time (sec), Total messages, forward (×2),
+getField (×2), lgoto, rgoto, Eliminated (×2).  We add the sync row
+(zero in the paper's partitions; small here) and report our measured
+values next to the paper's for every cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..runtime import CostModel
+from ..workloads import (
+    listcompare,
+    ot,
+    run_ot_handcoded,
+    run_tax_handcoded,
+    tax,
+    work,
+)
+
+#: The paper's Table 1, verbatim.
+PAPER_TABLE1 = {
+    "List": {
+        "lines": 110, "elapsed": 0.51, "total_messages": 1608,
+        "forward": 400, "getField": 2, "lgoto": 402, "rgoto": 402,
+        "eliminated": 402,
+    },
+    "OT": {
+        "lines": 50, "elapsed": 0.33, "total_messages": 1002,
+        "forward": 101, "getField": 100, "lgoto": 200, "rgoto": 400,
+        "eliminated": 600,
+    },
+    "Tax": {
+        "lines": 285, "elapsed": 0.58, "total_messages": 1200,
+        "forward": 300, "getField": 0, "lgoto": 0, "rgoto": 600,
+        "eliminated": 400,
+    },
+    "Work": {
+        "lines": 45, "elapsed": 0.49, "total_messages": 600,
+        "forward": 0, "getField": 0, "lgoto": 300, "rgoto": 300,
+        "eliminated": 300,
+    },
+    "OT-h": {"lines": 175, "elapsed": 0.28, "total_messages": 800},
+    "Tax-h": {"lines": 400, "elapsed": 0.27, "total_messages": 800},
+}
+
+ROWS = [
+    ("lines", "Lines"),
+    ("elapsed", "Elapsed time (sec)"),
+    ("total_messages", "Total messages"),
+    ("forward", "forward"),
+    ("getField", "getField"),
+    ("sync", "sync"),
+    ("lgoto", "lgoto"),
+    ("rgoto", "rgoto"),
+    ("eliminated", "Eliminated"),
+]
+
+
+def measure(cost_model: Optional[CostModel] = None) -> Dict[str, Dict]:
+    """Run every benchmark and collect the Table 1 cells."""
+    results: Dict[str, Dict] = {}
+    for name, module in (("List", listcompare), ("OT", ot),
+                         ("Tax", tax), ("Work", work)):
+        outcome = module.run(cost_model=cost_model)
+        cells = dict(outcome.counts)
+        cells["lines"] = outcome.lines
+        cells["elapsed"] = outcome.elapsed
+        cells["annotation_ratio"] = outcome.annotation_ratio
+        results[name] = cells
+    for name, runner in (("OT-h", run_ot_handcoded),
+                         ("Tax-h", run_tax_handcoded)):
+        outcome = runner(cost_model=cost_model)
+        results[name] = {
+            "lines": outcome.lines,
+            "elapsed": outcome.elapsed,
+            "total_messages": outcome.counts["total_messages"],
+        }
+    return results
+
+
+def render(measured: Optional[Dict[str, Dict]] = None) -> str:
+    """Render the measured-vs-paper table as text."""
+    measured = measured or measure()
+    columns = ["List", "OT", "Tax", "Work", "OT-h", "Tax-h"]
+    lines = []
+    header = f"{'Metric':<22}" + "".join(f"{c:>16}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key, label in ROWS:
+        ours = []
+        paper = []
+        for column in columns:
+            cell = measured.get(column, {}).get(key)
+            ref = PAPER_TABLE1.get(column, {}).get(key)
+            if isinstance(cell, float):
+                ours.append(f"{cell:>16.2f}")
+            elif cell is None:
+                ours.append(f"{'-':>16}")
+            else:
+                ours.append(f"{cell:>16}")
+            if isinstance(ref, float):
+                paper.append(f"{ref:>16.2f}")
+            elif ref is None:
+                paper.append(f"{'-':>16}")
+            else:
+                paper.append(f"{ref:>16}")
+        lines.append(f"{label + ' (ours)':<22}" + "".join(ours))
+        lines.append(f"{label + ' (paper)':<22}" + "".join(paper))
+    ot_slow = measured["OT"]["elapsed"] / measured["OT-h"]["elapsed"]
+    tax_slow = measured["Tax"]["elapsed"] / measured["Tax-h"]["elapsed"]
+    lines.append("")
+    lines.append(
+        f"Slowdown vs hand-coded: OT {ot_slow:.2f}x (paper 1.17x), "
+        f"Tax {tax_slow:.2f}x (paper 2.17x)"
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""The distributed runtime (Section 5): hosts, tokens, ICS, network."""
+
+from .attacks import Adversary, AttackReport
+from .executor import DistributedExecutor, ExecutionResult, run_split_program
+from .host import HaltSignal, TrustedHost
+from .ics import LocalStack
+from .network import CostModel, Message, SimNetwork
+from .singlehost import SingleHostInterpreter, run_single_host
+from .tokens import Token, TokenFactory, forged_token
+from .values import FrameID, ObjectRef, ReturnInfo
+
+__all__ = [
+    "Adversary",
+    "AttackReport",
+    "DistributedExecutor",
+    "ExecutionResult",
+    "run_split_program",
+    "HaltSignal",
+    "TrustedHost",
+    "LocalStack",
+    "CostModel",
+    "Message",
+    "SimNetwork",
+    "SingleHostInterpreter",
+    "run_single_host",
+    "Token",
+    "TokenFactory",
+    "forged_token",
+    "FrameID",
+    "ObjectRef",
+    "ReturnInfo",
+]

@@ -1,0 +1,207 @@
+"""Adversarial hosts (Section 3.2's threat model).
+
+A *bad host* has full access to the part of the program executing on it,
+can fabricate apparently-authentic messages from other bad hosts, and
+can share information with them — but it cannot forge messages from good
+hosts, and it cannot mint the capability tokens good hosts sign.
+
+The :class:`Adversary` drives every attack the paper's dynamic checks
+must stop (Figure 6): illegal field reads/writes, rgoto/sync to
+privileged entry points, forged and replayed capabilities, mismatched
+program hashes, and low-integrity data forwards.  Each attempt reports
+whether the good host rejected it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..splitter.fragments import SplitProgram
+from .executor import DistributedExecutor
+from .host import _REJECTED
+from .network import Message
+from .tokens import Token, forged_token
+from .values import FrameID
+
+
+class AttackReport:
+    """Outcome of one attack attempt."""
+
+    __slots__ = ("name", "rejected", "detail")
+
+    def __init__(self, name: str, rejected: bool, detail: str = "") -> None:
+        self.name = name
+        self.rejected = rejected
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        verdict = "REJECTED" if self.rejected else "!! ACCEPTED !!"
+        return f"AttackReport({self.name}: {verdict})"
+
+
+class Adversary:
+    """A subverted host mounting attacks against the good hosts."""
+
+    def __init__(self, executor: DistributedExecutor, bad_host: str) -> None:
+        self.executor = executor
+        self.network = executor.network
+        self.split: SplitProgram = executor.split
+        self.bad_host = bad_host
+        self.reports: List[AttackReport] = []
+        #: capabilities observed in transit to the bad host.
+        self.captured_tokens: List[Token] = []
+
+    # -- reconnaissance ---------------------------------------------------------
+
+    def capture_tokens(self) -> List[Token]:
+        """Harvest every token a good host ever sent to the bad host.
+
+        Bad hosts legitimately receive capabilities (to pass back via
+        lgoto); the question is what they can do with them.
+        """
+        for message in self.network.message_log:
+            if message.dst != self.bad_host:
+                continue
+            token = message.payload.get("token")
+            if isinstance(token, Token):
+                self.captured_tokens.append(token)
+        return self.captured_tokens
+
+    def _note(self, name: str, outcome: Any, detail: str = "") -> AttackReport:
+        rejected = outcome is _REJECTED or outcome is None or outcome is False
+        report = AttackReport(name, rejected, detail)
+        self.reports.append(report)
+        return report
+
+    def _payload(self, **kwargs: Any) -> dict:
+        payload = {"digest": self.split.digest}
+        payload.update(kwargs)
+        return payload
+
+    # -- field attacks -----------------------------------------------------------
+
+    def try_get_field(self, cls: str, field: str) -> AttackReport:
+        """Request a field the bad host is not cleared to read."""
+        placement = self.split.fields[(cls, field)]
+        outcome = self.network.request(
+            Message(
+                "getField",
+                self.bad_host,
+                placement.host,
+                self._payload(cls=cls, field=field, oid=None),
+            )
+        )
+        return self._note(f"getField {cls}.{field}", outcome)
+
+    def try_set_field(self, cls: str, field: str, value: Any) -> AttackReport:
+        """Corrupt a field whose integrity the bad host lacks."""
+        placement = self.split.fields[(cls, field)]
+        outcome = self.network.request(
+            Message(
+                "setField",
+                self.bad_host,
+                placement.host,
+                self._payload(cls=cls, field=field, oid=None, value=value),
+            )
+        )
+        return self._note(f"setField {cls}.{field}", outcome)
+
+    # -- control attacks -----------------------------------------------------------
+
+    def try_rgoto(self, entry: str, frame: Optional[FrameID] = None) -> AttackReport:
+        """Invoke a privileged entry point directly (Section 5.4: 'if B
+        maliciously attempts to invoke any entry point ... the access
+        control checks deny the operation')."""
+        fragment = self.split.fragments[entry]
+        frame = frame or FrameID(fragment.method_key)
+        outcome = self.network.request(
+            Message(
+                "rgoto",
+                self.bad_host,
+                fragment.host,
+                self._payload(entry=entry, frame=frame, token=None, vars={}),
+            )
+        )
+        return self._note(f"rgoto {entry}", outcome)
+
+    def try_sync(self, entry: str) -> AttackReport:
+        """Ask a good host to mint a capability the bad host may not have."""
+        fragment = self.split.fragments[entry]
+        outcome = self.network.request(
+            Message(
+                "sync",
+                self.bad_host,
+                fragment.host,
+                self._payload(
+                    entry=entry,
+                    frame=FrameID(fragment.method_key),
+                    token=None,
+                ),
+            )
+        )
+        if isinstance(outcome, Token):
+            return self._note(f"sync {entry}", outcome, "token minted!")
+        return self._note(f"sync {entry}", outcome)
+
+    def try_forged_lgoto(self, entry: str) -> AttackReport:
+        """Present a token with a fabricated MAC."""
+        fragment = self.split.fragments[entry]
+        token = forged_token(FrameID(fragment.method_key), entry, fragment.host)
+        outcome = self.network.request(
+            Message(
+                "lgoto",
+                self.bad_host,
+                fragment.host,
+                self._payload(token=token, vars={}),
+            )
+        )
+        return self._note(f"forged lgoto {entry}", outcome)
+
+    def try_replay(self, token: Token) -> AttackReport:
+        """Replay a previously consumed capability (one-shot check)."""
+        outcome = self.network.request(
+            Message(
+                "lgoto",
+                self.bad_host,
+                token.host,
+                self._payload(token=token, vars={}),
+            )
+        )
+        return self._note(f"replay lgoto {token.entry}", outcome)
+
+    def try_wrong_program(self, cls: str, field: str) -> AttackReport:
+        """Speak for a different partitioning (Section 8's hash check)."""
+        placement = self.split.fields[(cls, field)]
+        outcome = self.network.request(
+            Message(
+                "getField",
+                self.bad_host,
+                placement.host,
+                {"cls": cls, "field": field, "oid": None,
+                 "digest": b"not-the-program-you-agreed-to"},
+            )
+        )
+        return self._note(f"mismatched hash getField {cls}.{field}", outcome)
+
+    def try_forward(
+        self, method_key, var: str, value: Any, target_host: str
+    ) -> AttackReport:
+        """Forward corrupt data into a trusted frame variable."""
+        frame = FrameID(method_key)
+        outcome = self.network.request(
+            Message(
+                "forward",
+                self.bad_host,
+                target_host,
+                self._payload(vars={frame: {var: value}}),
+            )
+        )
+        return self._note(f"forward {var} to {target_host}", outcome)
+
+    # -- summaries ------------------------------------------------------------------
+
+    def all_rejected(self) -> bool:
+        return all(report.rejected for report in self.reports)
+
+    def accepted(self) -> List[AttackReport]:
+        return [report for report in self.reports if not report.rejected]

@@ -1,0 +1,134 @@
+"""The distributed executor: runs a SplitProgram over simulated hosts.
+
+Good hosts preserve the source program's sequential execution (Section
+3.2): there is a single thread of control, embodied by the rgoto/lgoto
+message queue.  Execution starts at the main method's entry, holding
+the root capability ``t0`` (as host T does in Figure 4); consuming
+``t0`` ends the program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..splitter.fragments import SplitProgram
+from ..trust import KeyRegistry
+from .host import ExecutionState, HaltSignal, TrustedHost
+from .network import CostModel, SimNetwork
+from .values import FrameID
+
+_MAX_STEPS = 2_000_000
+
+
+class ExecutionResult:
+    """Everything observable about one distributed run."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        hosts: Dict[str, TrustedHost],
+        main_frame: FrameID,
+    ) -> None:
+        self.network = network
+        self.hosts = hosts
+        self.main_frame = main_frame
+
+    @property
+    def elapsed(self) -> float:
+        return self.network.clock
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        return self.network.table_counts()
+
+    @property
+    def audits(self):
+        return self.network.audit_log
+
+    def field_value(self, cls: str, field: str, oid: Optional[int] = None) -> Any:
+        for host in self.hosts.values():
+            key = (cls, field, oid)
+            if key in host.field_store:
+                return host.field_store[key]
+        raise KeyError(f"field {cls}.{field} not found on any host")
+
+    def var_value(self, frame: FrameID, var: str) -> Any:
+        """The value of a main-frame variable (from any host's copy)."""
+        for host in self.hosts.values():
+            if frame in host.frames and var in host.frames[frame]["vars"]:
+                return host.frames[frame]["vars"][var]
+        return None
+
+    def main_var(self, var: str) -> Any:
+        return self.var_value(self.main_frame, var)
+
+
+class DistributedExecutor:
+    """Sets up hosts for a split program and drives the control loop."""
+
+    def __init__(
+        self,
+        split: SplitProgram,
+        cost_model: Optional[CostModel] = None,
+        opt_level: int = 1,
+        registry: Optional[KeyRegistry] = None,
+    ) -> None:
+        self.split = split
+        self.network = SimNetwork(cost_model)
+        self.registry = registry or KeyRegistry()
+        self.hosts: Dict[str, TrustedHost] = {}
+        for descriptor in split.config.hosts:
+            self.hosts[descriptor.name] = TrustedHost(
+                descriptor.name,
+                split,
+                self.network,
+                self.registry,
+                opt_level=opt_level,
+            )
+
+    def host(self, name: str) -> TrustedHost:
+        return self.hosts[name]
+
+    def run(self) -> ExecutionResult:
+        """Execute the program to completion."""
+        assert self.split.main_entry is not None
+        main_host = self.hosts[self.split.main_host]
+        main_key = self.split.fragments[self.split.main_entry].method_key
+        main_frame = FrameID(main_key)
+        # The root capability t0: consuming it halts the program.
+        root = main_host.factory.mint(main_frame, self.split.main_entry)
+        main_host.stack.push(root, None)
+        state = ExecutionState(self.split.main_entry, main_frame, root)
+        halted = False
+        try:
+            main_host.run_chain(state)
+        except HaltSignal:
+            halted = True
+        steps = 0
+        while not halted:
+            message = self.network.pop_control()
+            if message is None:
+                raise RuntimeError(
+                    "distributed execution stalled: no control message "
+                    "pending and the program has not halted"
+                )
+            handler = self.hosts[message.dst]
+            try:
+                handler.handle(message)
+            except HaltSignal:
+                halted = True
+            steps += 1
+            if steps > _MAX_STEPS:
+                raise RuntimeError("execution exceeded the step budget")
+        return ExecutionResult(self.network, self.hosts, main_frame)
+
+
+def run_split_program(
+    split: SplitProgram,
+    cost_model: Optional[CostModel] = None,
+    opt_level: int = 1,
+) -> ExecutionResult:
+    """Convenience wrapper: execute a split program and return the result."""
+    return DistributedExecutor(
+        split, cost_model=cost_model, opt_level=opt_level
+    ).run()

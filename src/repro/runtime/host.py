@@ -1,0 +1,839 @@
+"""A host participating in a partitioned computation (Section 5).
+
+Each :class:`TrustedHost` holds the fields and code fragments the
+splitter assigned to it, a local slice of the integrity control stack,
+and its frame copies.  Every incoming request is validated exactly as
+Figure 6 prescribes — invalid requests are ignored and logged, never
+answered — so a bad host gains nothing by fabricating messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..labels import Label
+from ..splitter.fragments import (
+    EdgeAction,
+    Fragment,
+    OpAssignVar,
+    OpForward,
+    OpSetElem,
+    OpSetField,
+    SplitProgram,
+    TermBranch,
+    TermCall,
+    TermHalt,
+    TermJump,
+    TermReturn,
+)
+from ..splitter import ir
+from ..trust import KeyRegistry
+from .ics import LocalStack
+from .network import Message, SimNetwork
+from .tokens import Token, TokenFactory
+from .values import ArrayRef, FrameID, ObjectRef, ReturnInfo
+
+_REJECTED = object()
+
+
+class ExecutionState:
+    """The moving point of control: (entry, frame, token)."""
+
+    __slots__ = ("entry", "frame", "token")
+
+    def __init__(self, entry: str, frame: FrameID, token: Optional[Token]) -> None:
+        self.entry = entry
+        self.frame = frame
+        self.token = token
+
+
+class HaltSignal(Exception):
+    """Raised internally when the root capability is consumed."""
+
+
+class TrustedHost:
+    """A well-behaved host executing its part of the split program."""
+
+    def __init__(
+        self,
+        name: str,
+        split: SplitProgram,
+        network: SimNetwork,
+        registry: KeyRegistry,
+        opt_level: int = 1,
+    ) -> None:
+        self.name = name
+        self.split = split
+        self.network = network
+        self.opt_level = opt_level
+        self.factory = TokenFactory(name, registry)
+        self.stack = LocalStack()
+        #: fields stored here: (cls, field, oid) -> value.
+        self.field_store: Dict[Tuple[str, str, Optional[int]], Any] = {}
+        #: arrays allocated here: oid -> element list / element label.
+        self.array_store: Dict[int, list] = {}
+        self.array_meta: Dict[int, Label] = {}
+        #: frame copies: FrameID -> {"vars": {...}, "ret": ReturnInfo}.
+        self.frames: Dict[FrameID, Dict[str, Any]] = {}
+        #: deferred data forwards: dst host -> {(fid, var): (value, label)}.
+        self.pending: Dict[str, Dict[Tuple[int, str], Tuple[Any, Label, FrameID]]] = {}
+        #: entries this host serves, with precomputed invoker ACLs.
+        self.entries: Dict[str, Fragment] = {
+            f.entry: f for f in split.fragments_on(name)
+        }
+        self.entry_acl: Dict[str, frozenset] = {
+            entry: split.entry_invokers(entry) for entry in self.entries
+        }
+        self._init_fields()
+        network.register(name, self.handle)
+
+    def _init_fields(self) -> None:
+        for placement in self.split.fields_on(self.name):
+            key = (placement.cls, placement.field, None)
+            self.field_store[key] = placement.default_value()
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+
+    def frame(self, fid: FrameID) -> Dict[str, Any]:
+        if fid not in self.frames:
+            self.frames[fid] = {"vars": {}, "ret": None}
+        return self.frames[fid]
+
+    def var(self, fid: FrameID, name: str) -> Any:
+        frame = self.frame(fid)
+        if name in frame["vars"]:
+            return frame["vars"][name]
+        plan = self.split.methods[fid.method_key]
+        return plan.default_value(name)
+
+    def set_var(self, fid: FrameID, name: str, value: Any) -> None:
+        self.frame(fid)["vars"][name] = value
+
+    # ------------------------------------------------------------------
+    # Incoming requests (Figure 6)
+    # ------------------------------------------------------------------
+
+    def handle(self, message: Message) -> Any:
+        if message.src != self.name:
+            self.network.charge_check()
+            if message.payload.get("digest") != self.split.digest:
+                self.network.audit(
+                    self.name, f"{message.kind} with mismatched program hash"
+                )
+                return _REJECTED
+        kind = message.kind
+        if kind == "getField":
+            return self._handle_get_field(message)
+        if kind == "setField":
+            return self._handle_set_field(message)
+        if kind == "forward":
+            return self._handle_forward(message)
+        if kind == "sync":
+            return self._handle_sync(message)
+        if kind == "rgoto":
+            return self._handle_rgoto(message)
+        if kind == "lgoto":
+            return self._handle_lgoto(message)
+        self.network.audit(self.name, f"unknown request kind {kind!r}")
+        return _REJECTED
+
+    def _handle_get_field(self, message: Message) -> Any:
+        payload = message.payload
+        if "array" in payload:
+            return self._handle_get_element(message)
+        key = (payload["cls"], payload["field"])
+        placement = self.split.fields.get(key)
+        if placement is None or placement.host != self.name:
+            self.network.audit(self.name, f"getField for absent field {key}")
+            return _REJECTED
+        if message.src != self.name and message.src not in placement.readers:
+            self.network.audit(
+                self.name,
+                f"getField {key} denied to {message.src}: "
+                f"C(L_f) ⋢ C_{message.src}",
+            )
+            return _REJECTED
+        store_key = (key[0], key[1], payload.get("oid"))
+        if store_key not in self.field_store:
+            self.field_store[store_key] = placement.default_value()
+        value = self.field_store[store_key]
+        if message.src != self.name:
+            self.network.flow(placement.label, message.src)
+        return value
+
+    def _handle_get_element(self, message: Message) -> Any:
+        payload = message.payload
+        ref = payload["array"]
+        if ref.oid not in self.array_store:
+            self.network.audit(self.name, f"getField for absent array {ref}")
+            return _REJECTED
+        label = self.array_meta[ref.oid]
+        requester = self.split.config.host(message.src)
+        if message.src != self.name and not label.conf.flows_to(
+            requester.conf, self.split.config.hierarchy
+        ):
+            self.network.audit(
+                self.name,
+                f"array read denied to {message.src}: C(L) ⋢ C_h",
+            )
+            return _REJECTED
+        store = self.array_store[ref.oid]
+        index = payload["idx"]
+        if not 0 <= index < len(store):
+            self.network.audit(
+                self.name, f"array read out of bounds ({index})"
+            )
+            return _REJECTED
+        if message.src != self.name:
+            self.network.flow(label, message.src)
+        return store[index]
+
+    def _handle_set_element(self, message: Message) -> Any:
+        payload = message.payload
+        ref = payload["array"]
+        if ref.oid not in self.array_store:
+            self.network.audit(self.name, f"setField for absent array {ref}")
+            return _REJECTED
+        label = self.array_meta[ref.oid]
+        sender = self.split.config.host(message.src)
+        if message.src != self.name and not sender.integ.flows_to(
+            label.integ, self.split.config.hierarchy
+        ):
+            self.network.audit(
+                self.name,
+                f"array write denied to {message.src}: I_h ⋢ I(L)",
+            )
+            return _REJECTED
+        store = self.array_store[ref.oid]
+        index = payload["idx"]
+        if not 0 <= index < len(store):
+            self.network.audit(
+                self.name, f"array write out of bounds ({index})"
+            )
+            return _REJECTED
+        store[index] = payload["value"]
+        return True
+
+    def _handle_set_field(self, message: Message) -> Any:
+        payload = message.payload
+        if "array" in payload:
+            return self._handle_set_element(message)
+        key = (payload["cls"], payload["field"])
+        placement = self.split.fields.get(key)
+        if placement is None or placement.host != self.name:
+            self.network.audit(self.name, f"setField for absent field {key}")
+            return _REJECTED
+        if message.src != self.name and message.src not in placement.writers:
+            self.network.audit(
+                self.name,
+                f"setField {key} denied to {message.src}: "
+                f"I_{message.src} ⋢ I(L_f)",
+            )
+            return _REJECTED
+        store_key = (key[0], key[1], payload.get("oid"))
+        self.field_store[store_key] = payload["value"]
+        return True
+
+    def _handle_forward(self, message: Message) -> Any:
+        """Apply forwarded frame variables after an integrity check."""
+        accepted = True
+        for fid, var_values in message.payload["vars"].items():
+            plan = self.split.methods[fid.method_key]
+            for var, value in var_values.items():
+                label = plan.var_labels.get(var, Label.constant())
+                sender = self.split.config.host(message.src)
+                if message.src != self.name and not sender.integ.flows_to(
+                    label.integ, self.split.config.hierarchy
+                ):
+                    self.network.audit(
+                        self.name,
+                        f"forward of {var} denied from {message.src}: "
+                        f"I_{message.src} ⋢ I(L_var)",
+                    )
+                    accepted = False
+                    continue
+                self.set_var(fid, var, value)
+        return accepted
+
+    def _handle_sync(self, message: Message) -> Any:
+        payload = message.payload
+        entry = payload["entry"]
+        fragment = self.entries.get(entry)
+        if fragment is None:
+            self.network.audit(self.name, f"sync for unknown entry {entry}")
+            return _REJECTED
+        if message.src != self.name and message.src not in self.entry_acl[entry]:
+            self.network.audit(
+                self.name,
+                f"sync {entry} denied to {message.src}: I_i ⋢ I_e",
+            )
+            return _REJECTED
+        token = self.factory.mint(payload["frame"], entry)
+        if message.src != self.name:
+            self.network.charge_hash()
+        self.stack.push(token, payload.get("token"))
+        return token
+
+    def _handle_rgoto(self, message: Message) -> Any:
+        payload = message.payload
+        entry = payload["entry"]
+        fragment = self.entries.get(entry)
+        if fragment is None:
+            self.network.audit(self.name, f"rgoto to unknown entry {entry}")
+            return _REJECTED
+        if message.src != self.name and message.src not in self.entry_acl[entry]:
+            self.network.audit(
+                self.name,
+                f"rgoto {entry} denied to {message.src}: I_i ⋢ I_e "
+                f"(I_e = {{{fragment.integ}}})",
+            )
+            return _REJECTED
+        self._apply_payload_data(message)
+        state = ExecutionState(entry, payload["frame"], payload.get("token"))
+        self.run_chain(state)
+        return True
+
+    def _handle_lgoto(self, message: Message) -> Any:
+        token: Token = message.payload["token"]
+        if token.host != self.name:
+            self.network.audit(
+                self.name, f"lgoto with foreign token for {token.entry}"
+            )
+            return _REJECTED
+        if message.src != self.name:
+            # Tokens used locally are never hashed (Section 7.4), so only
+            # remote presentations pay for MAC verification.
+            if not self.factory.verify(token):
+                self.network.audit(
+                    self.name, f"lgoto with forged token for {token.entry}"
+                )
+                return _REJECTED
+            self.network.charge_hash()
+        popped = self.stack.pop_if_top(token)
+        if popped is None:
+            self.network.audit(
+                self.name,
+                f"lgoto with stale/replayed token for {token.entry}",
+            )
+            return _REJECTED
+        self._apply_payload_data(message)
+        (previous,) = popped
+        if previous is None:
+            # The root capability: the program is complete.
+            raise HaltSignal()
+        state = ExecutionState(token.entry, token.frame, previous)
+        self.run_chain(state)
+        return True
+
+    def _apply_payload_data(self, message: Message) -> None:
+        vars_payload = message.payload.get("vars")
+        if vars_payload:
+            self._handle_forward(
+                Message(
+                    "forward",
+                    message.src,
+                    self.name,
+                    {
+                        "vars": vars_payload,
+                        "digest": message.payload.get("digest"),
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Fragment execution
+    # ------------------------------------------------------------------
+
+    def run_chain(self, state: ExecutionState) -> None:
+        """Execute fragments locally until control leaves this host."""
+        while True:
+            fragment = self.split.fragments[state.entry]
+            assert fragment.host == self.name, (
+                f"{self.name} asked to run {state.entry}"
+            )
+            self.network.charge_ops(len(fragment.ops) + 1)
+            for op in fragment.ops:
+                self._run_op(op, state)
+            next_state = self._run_terminator(fragment, state)
+            if next_state is None:
+                return
+            state = next_state
+
+    def _run_op(self, op, state: ExecutionState) -> None:
+        if isinstance(op, OpAssignVar):
+            self.set_var(state.frame, op.var, self.eval(op.expr, state.frame))
+        elif isinstance(op, OpSetField):
+            value = self.eval(op.expr, state.frame)
+            oid = None
+            if op.obj is not None:
+                ref = self.eval(op.obj, state.frame)
+                if ref is None:
+                    raise RuntimeError("null dereference in field write")
+                oid = ref.oid
+            self.write_field(op.cls, op.field, oid, value)
+        elif isinstance(op, OpSetElem):
+            ref = self.eval(op.array, state.frame)
+            index = self.eval(op.index, state.frame)
+            value = self.eval(op.expr, state.frame)
+            self.write_element(ref, index, value)
+        elif isinstance(op, OpForward):
+            value = self.var(state.frame, op.var)
+            plan = self.split.methods[state.frame.method_key]
+            label = plan.var_labels.get(op.var, Label.constant())
+            for target in op.hosts:
+                if target == self.name:
+                    continue
+                slot = (state.frame.fid, op.var)
+                self.pending.setdefault(target, {})[slot] = (
+                    value,
+                    label,
+                    state.frame,
+                )
+            if self.opt_level == 0:
+                self.flush_forwards(piggyback_for=None)
+        else:
+            raise AssertionError(f"unknown op {op!r}")
+
+    # -- data forwarding ----------------------------------------------------------
+
+    def flush_forwards(
+        self, piggyback_for: Optional[str]
+    ) -> Optional[Dict[FrameID, Dict[str, Any]]]:
+        """Send all deferred forwards; values destined to
+        ``piggyback_for`` are returned for inclusion in the transfer
+        message instead of being sent separately."""
+        piggyback: Optional[Dict[FrameID, Dict[str, Any]]] = None
+        for target in sorted(self.pending):
+            slots = self.pending[target]
+            if not slots:
+                continue
+            if target == piggyback_for and self.opt_level >= 1:
+                piggyback = {}
+                for (fid_num, var), (value, label, fid) in slots.items():
+                    piggyback.setdefault(fid, {})[var] = value
+                    self.network.flow(label, target)
+                self.network.note_eliminated(len(slots))
+                slots.clear()
+                continue
+            vars_payload: Dict[FrameID, Dict[str, Any]] = {}
+            labels = []
+            for (fid_num, var), (value, label, fid) in slots.items():
+                vars_payload.setdefault(fid, {})[var] = value
+                labels.append(label)
+                self.network.flow(label, target)
+            if self.opt_level >= 1 and len(slots) > 1:
+                self.network.note_eliminated(len(slots) - 1)
+            message = Message(
+                "forward",
+                self.name,
+                target,
+                {"vars": vars_payload, "digest": self.split.digest},
+                data_labels=labels,
+            )
+            if self.opt_level >= 2:
+                # The paper's proposed (unimplemented) optimization:
+                # forwards need no acknowledgment.
+                self.network.one_way(message)
+            else:
+                self.network.request(message)
+            slots.clear()
+        return piggyback
+
+    # -- terminators ---------------------------------------------------------------
+
+    def _run_terminator(
+        self, fragment: Fragment, state: ExecutionState
+    ) -> Optional[ExecutionState]:
+        terminator = fragment.terminator
+        if isinstance(terminator, TermJump):
+            return self._run_plan(terminator.plan, state)
+        if isinstance(terminator, TermBranch):
+            cond = self.eval(terminator.cond, state.frame)
+            plan = terminator.plan_true if cond else terminator.plan_false
+            return self._run_plan(plan, state)
+        if isinstance(terminator, TermCall):
+            return self._run_call(terminator, state)
+        if isinstance(terminator, TermReturn):
+            return self._run_return(terminator, state)
+        if isinstance(terminator, TermHalt):
+            raise HaltSignal()
+        raise AssertionError(f"unknown terminator {terminator!r}")
+
+    def _run_plan(
+        self, plan: List[EdgeAction], state: ExecutionState
+    ) -> Optional[ExecutionState]:
+        token = state.token
+        for action in plan:
+            if action.kind == "local":
+                state.entry = action.entry
+                state.token = token
+                return state
+            if action.kind == "sync":
+                token = self._do_sync(action.entry, state.frame, token)
+                if token is None:
+                    return None
+            elif action.kind == "rgoto":
+                self._do_rgoto(action.entry, state.frame, token)
+                return None
+            elif action.kind == "lgoto":
+                self._do_lgoto(token)
+                return None
+            elif action.kind == "halt":
+                raise HaltSignal()
+        return None
+
+    def _do_sync(
+        self, entry: str, frame: FrameID, token: Optional[Token]
+    ) -> Optional[Token]:
+        target_host = self.split.entry_host(entry)
+        message = Message(
+            "sync",
+            self.name,
+            target_host,
+            {
+                "entry": entry,
+                "frame": frame,
+                "token": token,
+                "digest": self.split.digest,
+            },
+        )
+        result = self.network.request(message)
+        if result is _REJECTED:
+            self.network.audit(self.name, f"sync to {entry} was rejected")
+            return None
+        return result
+
+    def _do_rgoto(
+        self, entry: str, frame: FrameID, token: Optional[Token],
+        extra_vars: Optional[Dict[FrameID, Dict[str, Any]]] = None,
+    ) -> None:
+        target_host = self.split.entry_host(entry)
+        piggyback = self.flush_forwards(piggyback_for=target_host)
+        vars_payload = piggyback or {}
+        if extra_vars:
+            for fid, values in extra_vars.items():
+                vars_payload.setdefault(fid, {}).update(values)
+        message = Message(
+            "rgoto",
+            self.name,
+            target_host,
+            {
+                "entry": entry,
+                "frame": frame,
+                "token": token,
+                "vars": vars_payload,
+                "digest": self.split.digest,
+            },
+        )
+        self.network.post(message)
+
+    def _do_lgoto(
+        self, token: Optional[Token],
+        extra_vars: Optional[Dict[FrameID, Dict[str, Any]]] = None,
+    ) -> None:
+        if token is None:
+            raise HaltSignal()
+        piggyback = self.flush_forwards(piggyback_for=token.host)
+        vars_payload = piggyback or {}
+        if extra_vars:
+            for fid, values in extra_vars.items():
+                vars_payload.setdefault(fid, {}).update(values)
+        message = Message(
+            "lgoto",
+            self.name,
+            token.host,
+            {
+                "token": token,
+                "vars": vars_payload,
+                "digest": self.split.digest,
+            },
+        )
+        self.network.post(message)
+
+    def _run_call(
+        self, terminator: TermCall, state: ExecutionState
+    ) -> Optional[ExecutionState]:
+        # Evaluate arguments in the caller's frame.
+        arg_values = {
+            param: self.eval(expr, state.frame)
+            for param, expr in terminator.args
+        }
+        # Sync the continuation on this host (a local ICS push).
+        cont_token = self._do_sync(
+            terminator.cont_entry, state.frame, state.token
+        )
+        if cont_token is None:
+            return None
+        callee_frame = FrameID(terminator.callee_key)
+        callee_host = self.split.entry_host(terminator.callee_entry)
+        plan = self.split.methods[terminator.callee_key]
+        # Route each argument directly to the hosts that read the
+        # parameter — not to hosts that merely run other callee code.
+        rgoto_payload: Dict[str, Any] = {}
+        for param, value in arg_values.items():
+            label = plan.var_labels.get(param, Label.constant())
+            for target in terminator.arg_hosts.get(param, ()):
+                if target == self.name:
+                    self.set_var(callee_frame, param, value)
+                elif target == callee_host:
+                    rgoto_payload[param] = value
+                    self.network.flow(label, target)
+                else:
+                    self.pending.setdefault(target, {})[
+                        (callee_frame.fid, param)
+                    ] = (value, label, callee_frame)
+        if callee_host == self.name:
+            if rgoto_payload:
+                self.frame(callee_frame)["vars"].update(rgoto_payload)
+            return ExecutionState(
+                terminator.callee_entry, callee_frame, cont_token
+            )
+        self._do_rgoto(
+            terminator.callee_entry,
+            callee_frame,
+            cont_token,
+            extra_vars={callee_frame: rgoto_payload} if rgoto_payload else None,
+        )
+        return None
+
+    def _run_return(
+        self, terminator: TermReturn, state: ExecutionState
+    ) -> Optional[ExecutionState]:
+        value = (
+            self.eval(terminator.expr, state.frame)
+            if terminator.expr is not None
+            else None
+        )
+        token = state.token
+        if token is None:
+            raise HaltSignal()
+        # The whole return route is static per continuation entry: the
+        # capability names the caller's host and frame, the split program
+        # names the result variable and the hosts that consume it.
+        result_var, result_hosts = self.split.cont_result(token.entry)
+        retval_payload: Optional[Dict[FrameID, Dict[str, Any]]] = None
+        if result_var is not None and value is not None:
+            plan = self.split.methods[token.frame.method_key]
+            label = plan.var_labels.get(result_var, Label.constant())
+            for target in result_hosts:
+                if target == self.name:
+                    self.set_var(token.frame, result_var, value)
+                elif self.opt_level >= 2 and target == token.host:
+                    # Piggyback the return value on the lgoto (the
+                    # paper's proposed optimization).
+                    retval_payload = {token.frame: {result_var: value}}
+                    self.network.flow(label, target)
+                    self.network.note_eliminated(1)
+                else:
+                    self.network.flow(label, target)
+                    self.network.request(
+                        Message(
+                            "forward",
+                            self.name,
+                            target,
+                            {
+                                "vars": {token.frame: {result_var: value}},
+                                "digest": self.split.digest,
+                            },
+                            data_labels=[label],
+                        )
+                    )
+        if token.host == self.name:
+            # A local return: pop our own stack directly; deferred
+            # forwards keep riding until control actually leaves.
+            popped = self.stack.pop_if_top(token)
+            if popped is None:
+                self.network.audit(self.name, "local lgoto with stale token")
+                return None
+            (previous,) = popped
+            if previous is None:
+                raise HaltSignal()
+            return ExecutionState(token.entry, token.frame, previous)
+        self._do_lgoto(token, extra_vars=retval_payload)
+        return None
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+
+    def eval(self, expr: ir.IRExpr, frame: FrameID) -> Any:
+        if isinstance(expr, ir.Const):
+            return expr.value
+        if isinstance(expr, ir.VarUse):
+            return self.var(frame, expr.name)
+        if isinstance(expr, ir.FieldUse):
+            oid = None
+            if expr.obj is not None:
+                ref = self.eval(expr.obj, frame)
+                if ref is None:
+                    raise RuntimeError("null dereference in field read")
+                oid = ref.oid
+            return self.read_field(expr.cls, expr.field, oid)
+        if isinstance(expr, ir.BinOp):
+            return self._eval_binop(expr, frame)
+        if isinstance(expr, ir.UnOp):
+            operand = self.eval(expr.operand, frame)
+            return (not operand) if expr.op == "!" else (-operand)
+        if isinstance(expr, ir.NewObj):
+            return ObjectRef(expr.cls)
+        if isinstance(expr, ir.NewArr):
+            length = self.eval(expr.length, frame)
+            ref = ArrayRef(length, self.name, expr.label)
+            self.array_store[ref.oid] = [0] * length
+            self.array_meta[ref.oid] = expr.label
+            return ref
+        if isinstance(expr, ir.ArrayUse):
+            ref = self.eval(expr.array, frame)
+            index = self.eval(expr.index, frame)
+            return self.read_element(ref, index)
+        if isinstance(expr, ir.ArrayLen):
+            ref = self.eval(expr.array, frame)
+            if ref is None:
+                raise RuntimeError("null dereference in array length")
+            return ref.length
+        if isinstance(expr, ir.DowngradeExpr):
+            # declassify/endorse have no run-time cost (Section 2.2).
+            return self.eval(expr.inner, frame)
+        raise AssertionError(f"unknown expression {expr!r}")
+
+    # ------------------------------------------------------------------
+    # Array element access (counted as getField/setField, like the
+    # paper's run-time array support)
+    # ------------------------------------------------------------------
+
+    def read_element(self, ref, index: int) -> Any:
+        if ref is None:
+            raise RuntimeError("null dereference in array read")
+        if ref.host == self.name:
+            store = self.array_store[ref.oid]
+            if not 0 <= index < len(store):
+                raise RuntimeError(
+                    f"array index {index} out of bounds [0, {len(store)})"
+                )
+            return store[index]
+        result = self.network.request(
+            Message(
+                "getField",
+                self.name,
+                ref.host,
+                {"array": ref, "idx": index, "digest": self.split.digest},
+                data_labels=[ref.label],
+            )
+        )
+        if result is _REJECTED:
+            raise RuntimeError(f"array read rejected for {self.name}")
+        return result
+
+    def write_element(self, ref, index: int, value: Any) -> None:
+        if ref is None:
+            raise RuntimeError("null dereference in array write")
+        if ref.host == self.name:
+            store = self.array_store[ref.oid]
+            if not 0 <= index < len(store):
+                raise RuntimeError(
+                    f"array index {index} out of bounds [0, {len(store)})"
+                )
+            store[index] = value
+            return
+        self.network.flow(ref.label, ref.host)
+        result = self.network.request(
+            Message(
+                "setField",
+                self.name,
+                ref.host,
+                {"array": ref, "idx": index, "value": value,
+                 "digest": self.split.digest},
+            )
+        )
+        if result is _REJECTED:
+            raise RuntimeError(f"array write rejected for {self.name}")
+
+    def _eval_binop(self, expr: ir.BinOp, frame: FrameID) -> Any:
+        op = expr.op
+        left = self.eval(expr.left, frame)
+        if op == "&&":
+            return bool(left) and bool(self.eval(expr.right, frame))
+        if op == "||":
+            return bool(left) or bool(self.eval(expr.right, frame))
+        right = self.eval(expr.right, frame)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            # Java semantics: truncate toward zero.
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if op == "%":
+            return left - (self._eval_div(left, right)) * right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise AssertionError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _eval_div(left: int, right: int) -> int:
+        quotient = abs(left) // abs(right)
+        return quotient if (left >= 0) == (right >= 0) else -quotient
+
+    # ------------------------------------------------------------------
+    # Field access
+    # ------------------------------------------------------------------
+
+    def read_field(self, cls: str, field: str, oid: Optional[int]) -> Any:
+        placement = self.split.fields[(cls, field)]
+        if placement.host == self.name:
+            store_key = (cls, field, oid)
+            if store_key not in self.field_store:
+                self.field_store[store_key] = placement.default_value()
+            return self.field_store[store_key]
+        result = self.network.request(
+            Message(
+                "getField",
+                self.name,
+                placement.host,
+                {"cls": cls, "field": field, "oid": oid,
+                 "digest": self.split.digest},
+                data_labels=[placement.label],
+            )
+        )
+        if result is _REJECTED:
+            raise RuntimeError(
+                f"getField {cls}.{field} rejected for {self.name}"
+            )
+        return result
+
+    def write_field(
+        self, cls: str, field: str, oid: Optional[int], value: Any
+    ) -> None:
+        placement = self.split.fields[(cls, field)]
+        if placement.host == self.name:
+            self.field_store[(cls, field, oid)] = value
+            return
+        self.network.flow(placement.label, placement.host)
+        result = self.network.request(
+            Message(
+                "setField",
+                self.name,
+                placement.host,
+                {"cls": cls, "field": field, "oid": oid, "value": value,
+                 "digest": self.split.digest},
+            )
+        )
+        if result is _REJECTED:
+            raise RuntimeError(
+                f"setField {cls}.{field} rejected for {self.name}"
+            )

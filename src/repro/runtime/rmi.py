@@ -1,0 +1,65 @@
+"""A minimal RMI-style layer over the simulated network.
+
+Used for the paper's hand-coded reference implementations (OT-h and
+Tax-h, Section 7.3).  An RMI invocation is a synchronous request/reply —
+two messages, exactly how the paper accounts for Java RMI calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .network import CostModel, Message, SimNetwork
+
+
+class RMIServer:
+    """One host exposing named remote methods."""
+
+    def __init__(self, name: str, network: SimNetwork) -> None:
+        self.name = name
+        self.network = network
+        self._methods: Dict[str, Callable] = {}
+        network.register(name, self._dispatch)
+
+    def expose(self, name: str, func: Callable) -> None:
+        self._methods[name] = func
+
+    def method(self, func: Callable) -> Callable:
+        """Decorator form of :meth:`expose`."""
+        self.expose(func.__name__, func)
+        return func
+
+    def _dispatch(self, message: Message) -> Any:
+        if message.kind != "rmi":
+            raise ValueError(f"RMI host got {message.kind!r}")
+        if message.src != self.name:
+            self.network.charge_check()
+        method = self._methods[message.payload["method"]]
+        return method(*message.payload["args"])
+
+
+class RMISystem:
+    """A set of RMI hosts sharing one network (and its accounting)."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+        self.network = SimNetwork(cost_model)
+        self.hosts: Dict[str, RMIServer] = {}
+
+    def host(self, name: str) -> RMIServer:
+        if name not in self.hosts:
+            self.hosts[name] = RMIServer(name, self.network)
+        return self.hosts[name]
+
+    def call(self, src: str, dst: str, method: str, *args: Any) -> Any:
+        """One RMI invocation: two messages unless local."""
+        return self.network.request(
+            Message("rmi", src, dst, {"method": method, "args": args})
+        )
+
+    @property
+    def total_messages(self) -> int:
+        return self.network.counts.get("messages", 0)
+
+    @property
+    def elapsed(self) -> float:
+        return self.network.clock

@@ -1,0 +1,224 @@
+"""Reference single-host interpreter.
+
+Executes the lowered IR directly, the way the original (unsplit) Jif
+program would run on one trusted machine.  Used as the semantic oracle:
+a correct partitioning must compute exactly the same field values and
+return values as this interpreter (the subprograms "collectively
+implement the original program").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..splitter import ir
+from .values import ArrayRef, ObjectRef
+
+
+class _ReturnValue(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class SingleHostInterpreter:
+    """Interprets an :class:`ir.IRProgram` on one host."""
+
+    def __init__(self, program: ir.IRProgram) -> None:
+        self.program = program
+        #: (cls, field, oid) -> value; oid None = program instance.
+        self.fields: Dict[Tuple[str, str, Optional[int]], Any] = {}
+        self.arrays: Dict[int, list] = {}
+        self.steps = 0
+        self.max_steps = 10_000_000
+
+    def seed_fields(self, initials: Dict[Tuple[str, str], Any]) -> None:
+        for (cls, field), value in initials.items():
+            self.fields[(cls, field, None)] = value
+
+    def run_main(self) -> Any:
+        return self.call(*self.program.main_key)
+
+    def call(self, cls: str, method: str, *args: Any) -> Any:
+        ir_method = self.program.methods[(cls, method)]
+        frame: Dict[str, Any] = {}
+        for param, value in zip(ir_method.params, args):
+            frame[param] = value
+        try:
+            self._exec_body(ir_method, ir_method.body, frame)
+        except _ReturnValue as ret:
+            return ret.value
+        return None
+
+    # -- statements -------------------------------------------------------------
+
+    def _exec_body(self, method: ir.IRMethod, body, frame) -> None:
+        for stmt in body:
+            self._exec_stmt(method, stmt, frame)
+
+    def _exec_stmt(self, method: ir.IRMethod, stmt: ir.IRStmt, frame) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise RuntimeError("single-host interpreter exceeded step budget")
+        if isinstance(stmt, ir.AssignVar):
+            frame[stmt.var] = self._eval(method, stmt.expr, frame)
+        elif isinstance(stmt, ir.AssignField):
+            value = self._eval(method, stmt.expr, frame)
+            oid = None
+            if stmt.obj is not None:
+                ref = self._eval(method, stmt.obj, frame)
+                if ref is None:
+                    raise RuntimeError("null dereference in field write")
+                oid = ref.oid
+            self.fields[(stmt.cls, stmt.field, oid)] = value
+        elif isinstance(stmt, ir.AssignElem):
+            ref = self._eval(method, stmt.array, frame)
+            index = self._eval(method, stmt.index, frame)
+            value = self._eval(method, stmt.expr, frame)
+            if ref is None:
+                raise RuntimeError("null dereference in array write")
+            store = self.arrays[ref.oid]
+            if not 0 <= index < len(store):
+                raise RuntimeError("array index out of bounds")
+            store[index] = value
+        elif isinstance(stmt, ir.CallStmt):
+            args = [self._eval(method, arg, frame) for arg in stmt.args]
+            result = self.call(stmt.cls, stmt.method, *args)
+            if stmt.result is not None:
+                frame[stmt.result] = result
+        elif isinstance(stmt, ir.ReturnStmt):
+            value = (
+                self._eval(method, stmt.expr, frame)
+                if stmt.expr is not None
+                else None
+            )
+            raise _ReturnValue(value)
+        elif isinstance(stmt, ir.IfStmt):
+            if self._eval(method, stmt.cond, frame):
+                self._exec_body(method, stmt.then_body, frame)
+            else:
+                self._exec_body(method, stmt.else_body, frame)
+        elif isinstance(stmt, ir.WhileStmt):
+            while self._eval(method, stmt.cond, frame):
+                self._exec_body(method, stmt.body, frame)
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise RuntimeError(
+                        "single-host interpreter exceeded step budget"
+                    )
+        else:
+            raise AssertionError(f"unknown statement {stmt!r}")
+
+    # -- expressions -------------------------------------------------------------
+
+    def _default_field(self, cls: str, field: str) -> Any:
+        # Base types are recoverable from any method's var_bases only for
+        # vars; for fields default to 0/False via stored initials. The
+        # splitter seeds declared initials through seed_fields; absent
+        # entries default to int 0 semantics, adjusted on first write.
+        return 0
+
+    def _eval(self, method: ir.IRMethod, expr: ir.IRExpr, frame) -> Any:
+        if isinstance(expr, ir.Const):
+            return expr.value
+        if isinstance(expr, ir.VarUse):
+            if expr.name in frame:
+                return frame[expr.name]
+            base = method.var_bases.get(expr.name)
+            if base == "int":
+                return 0
+            if base == "boolean":
+                return False
+            return None
+        if isinstance(expr, ir.FieldUse):
+            oid = None
+            if expr.obj is not None:
+                ref = self._eval(method, expr.obj, frame)
+                if ref is None:
+                    raise RuntimeError("null dereference in field read")
+                oid = ref.oid
+            key = (expr.cls, expr.field, oid)
+            if key not in self.fields:
+                self.fields[key] = self._default_field(expr.cls, expr.field)
+            return self.fields[key]
+        if isinstance(expr, ir.BinOp):
+            return self._eval_binop(method, expr, frame)
+        if isinstance(expr, ir.UnOp):
+            operand = self._eval(method, expr.operand, frame)
+            return (not operand) if expr.op == "!" else (-operand)
+        if isinstance(expr, ir.NewObj):
+            return ObjectRef(expr.cls)
+        if isinstance(expr, ir.NewArr):
+            length = self._eval(method, expr.length, frame)
+            ref = ArrayRef(length, "<local>", expr.label)
+            self.arrays[ref.oid] = [0] * length
+            return ref
+        if isinstance(expr, ir.ArrayUse):
+            ref = self._eval(method, expr.array, frame)
+            index = self._eval(method, expr.index, frame)
+            if ref is None:
+                raise RuntimeError("null dereference in array read")
+            store = self.arrays[ref.oid]
+            if not 0 <= index < len(store):
+                raise RuntimeError("array index out of bounds")
+            return store[index]
+        if isinstance(expr, ir.ArrayLen):
+            ref = self._eval(method, expr.array, frame)
+            if ref is None:
+                raise RuntimeError("null dereference in array length")
+            return ref.length
+        if isinstance(expr, ir.DowngradeExpr):
+            return self._eval(method, expr.inner, frame)
+        raise AssertionError(f"unknown expression {expr!r}")
+
+    def _eval_binop(self, method: ir.IRMethod, expr: ir.BinOp, frame) -> Any:
+        op = expr.op
+        left = self._eval(method, expr.left, frame)
+        if op == "&&":
+            return bool(left) and bool(self._eval(method, expr.right, frame))
+        if op == "||":
+            return bool(left) or bool(self._eval(method, expr.right, frame))
+        right = self._eval(method, expr.right, frame)
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            quotient = abs(left) // abs(right)
+            return quotient if (left >= 0) == (right >= 0) else -quotient
+        if op == "%":
+            quotient = abs(left) // abs(right)
+            signed = quotient if (left >= 0) == (right >= 0) else -quotient
+            return left - signed * right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise AssertionError(f"unknown operator {op!r}")
+
+
+def run_single_host(source: str) -> SingleHostInterpreter:
+    """Check, lower, and run a program on a single trusted host."""
+    from ..lang.typecheck import check_source
+    from ..splitter.lower import lower_program
+
+    checked = check_source(source)
+    program = lower_program(checked)
+    interpreter = SingleHostInterpreter(program)
+    initials = {
+        key: info.init_value
+        for key, info in checked.fields.items()
+        if info.init_value is not None
+    }
+    interpreter.seed_fields(initials)
+    interpreter.run_main()
+    return interpreter

@@ -1,0 +1,102 @@
+"""Run-time value model: object references and frame identifiers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+_object_ids = itertools.count(1)
+_frame_ids = itertools.count(1)
+
+
+class ObjectRef:
+    """A reference to a heap object.
+
+    Objects have global identity; their *fields* live on whatever host
+    the splitter assigned each field to, so an ObjectRef is just an id.
+    """
+
+    __slots__ = ("cls", "oid")
+
+    def __init__(self, cls: str) -> None:
+        self.cls = cls
+        self.oid = next(_object_ids)
+
+    def __repr__(self) -> str:
+        return f"ObjectRef({self.cls}#{self.oid})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ObjectRef):
+            return self.oid == other.oid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.oid)
+
+
+class ArrayRef:
+    """A handle to an integer array.
+
+    The elements live on the host that allocated the array; the handle
+    itself may travel (holding it grants nothing — element access goes
+    through the owning host's access checks).
+    """
+
+    __slots__ = ("oid", "length", "host", "label")
+
+    def __init__(self, length: int, host, label) -> None:
+        if length < 0:
+            raise RuntimeError("negative array length")
+        self.oid = next(_object_ids)
+        self.length = length
+        self.host = host
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"ArrayRef(#{self.oid}, len={self.length}@{self.host})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ArrayRef):
+            return self.oid == other.oid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.oid)
+
+
+class FrameID:
+    """Identity of one method activation, shared across the hosts that
+    hold pieces of its frame (Section 5: FrameID objects)."""
+
+    __slots__ = ("method_key", "fid")
+
+    def __init__(self, method_key) -> None:
+        self.method_key = method_key
+        self.fid = next(_frame_ids)
+
+    def __repr__(self) -> str:
+        cls, name = self.method_key
+        return f"FrameID({cls}.{name}#{self.fid})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrameID):
+            return self.fid == other.fid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.fid)
+
+
+class ReturnInfo:
+    """Where a method activation's return value must be delivered."""
+
+    __slots__ = ("host", "frame", "var")
+
+    def __init__(self, host: Optional[str], frame: Optional[FrameID],
+                 var: Optional[str]) -> None:
+        self.host = host
+        self.frame = frame
+        self.var = var
+
+    def __repr__(self) -> str:
+        return f"ReturnInfo({self.var}@{self.host})"

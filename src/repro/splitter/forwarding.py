@@ -1,0 +1,179 @@
+"""Data-forwarding insertion (Section 5.2).
+
+After host assignment, a frame variable defined on one host may be used
+on another.  "The splitter infers statically where the data forwarding
+should occur, using a standard definition-use dataflow analysis" — we
+compute, for every fragment exit, which hosts still need each
+variable's current value, and insert ``forward`` operations at the
+definition sites.  The value is always forwarded *directly* to its
+consumers (never relayed through hosts not permitted to see it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from . import ir
+from .fragments import (
+    Fragment,
+    OpAssignVar,
+    OpForward,
+    OpSetElem,
+    OpSetField,
+    TermBranch,
+    TermCall,
+    TermJump,
+    TermReturn,
+)
+
+
+def _expr_vars(expr: Optional[ir.IRExpr]) -> Set[str]:
+    if expr is None:
+        return set()
+    return {
+        node.name for node in ir.walk_expr(expr) if isinstance(node, ir.VarUse)
+    }
+
+
+class _FragmentFacts:
+    __slots__ = ("upward_uses", "defs", "successors")
+
+    def __init__(self) -> None:
+        #: variables read before any local definition.
+        self.upward_uses: Set[str] = set()
+        #: variables whose value at exit was produced here (or arrived
+        #: here: parameters at the method entry, call results at the
+        #: continuation).
+        self.defs: Set[str] = set()
+        self.successors: List[str] = []
+
+
+def _collect_facts(
+    fragments: Dict[str, Fragment],
+    method_entries: Dict[Tuple[str, str], str],
+    program: ir.IRProgram,
+) -> Dict[str, _FragmentFacts]:
+    facts: Dict[str, _FragmentFacts] = {}
+    cont_results: Dict[str, str] = {}
+    for fragment in fragments.values():
+        terminator = fragment.terminator
+        if isinstance(terminator, TermCall) and terminator.result_var:
+            cont_results[terminator.cont_entry] = terminator.result_var
+    for entry, fragment in fragments.items():
+        fact = _FragmentFacts()
+        defined: Set[str] = set()
+        # Parameters are *not* defs at the method entry: their values are
+        # routed straight from the call site to the hosts that read them.
+        for op in fragment.ops:
+            if isinstance(op, OpAssignVar):
+                fact.upward_uses |= _expr_vars(op.expr) - defined
+                defined.add(op.var)
+            elif isinstance(op, OpSetField):
+                fact.upward_uses |= _expr_vars(op.expr) - defined
+                if op.obj is not None:
+                    fact.upward_uses |= _expr_vars(op.obj) - defined
+            elif isinstance(op, OpSetElem):
+                fact.upward_uses |= _expr_vars(op.array) - defined
+                fact.upward_uses |= _expr_vars(op.index) - defined
+                fact.upward_uses |= _expr_vars(op.expr) - defined
+        terminator = fragment.terminator
+        if isinstance(terminator, TermBranch):
+            fact.upward_uses |= _expr_vars(terminator.cond) - defined
+            fact.successors = [
+                action.entry
+                for plan in (terminator.plan_true, terminator.plan_false)
+                for action in plan
+                if action.entry is not None and action.kind != "sync"
+            ]
+        elif isinstance(terminator, TermJump):
+            fact.upward_uses |= set()
+            fact.successors = [
+                action.entry
+                for action in terminator.plan
+                if action.entry is not None and action.kind != "sync"
+            ]
+        elif isinstance(terminator, TermCall):
+            for _, arg in terminator.args:
+                fact.upward_uses |= _expr_vars(arg) - defined
+            # For the caller's frame, execution resumes at the
+            # continuation after the callee returns.
+            fact.successors = [terminator.cont_entry]
+        elif isinstance(terminator, TermReturn):
+            fact.upward_uses |= _expr_vars(terminator.expr) - defined
+        if entry in cont_results:
+            # The call result arrives here (from the returning host), so
+            # downstream needs stop at this fragment — but its *own* read
+            # of the result is deliberately left in upward_uses so the
+            # result-routing pass sees it.
+            defined.add(cont_results[entry])
+        fact.defs = defined
+        facts[entry] = fact
+    return facts
+
+
+def insert_forwards(
+    fragments: Dict[str, Fragment],
+    method_entries: Dict[Tuple[str, str], str],
+    program: ir.IRProgram,
+) -> None:
+    """Insert :class:`OpForward` operations into ``fragments`` in place."""
+    facts = _collect_facts(fragments, method_entries, program)
+    # needed[entry] : var -> hosts that still need var's value at exit.
+    needed: Dict[str, Dict[str, FrozenSet[str]]] = {
+        entry: {} for entry in fragments
+    }
+    changed = True
+    while changed:
+        changed = False
+        for entry, fragment in fragments.items():
+            fact = facts[entry]
+            merged: Dict[str, Set[str]] = {}
+            for successor in fact.successors:
+                succ_fact = facts[successor]
+                succ_host = fragments[successor].host
+                for var in succ_fact.upward_uses:
+                    merged.setdefault(var, set()).add(succ_host)
+                for var, hosts in needed[successor].items():
+                    if var not in succ_fact.defs:
+                        merged.setdefault(var, set()).update(hosts)
+            frozen = {var: frozenset(hosts) for var, hosts in merged.items()}
+            if frozen != needed[entry]:
+                needed[entry] = frozen
+                changed = True
+    # Call results materialize at the callee's *return*, not at the
+    # continuation: record where each return value is consumed so the
+    # returning host forwards it directly (Section 5.2).  Arguments are
+    # symmetric: the caller forwards each argument straight to the hosts
+    # that read the parameter inside the callee.
+    call_results = {}
+    for fragment in fragments.values():
+        terminator = fragment.terminator
+        if not isinstance(terminator, TermCall):
+            continue
+        callee_entry = method_entries[terminator.callee_key]
+        callee = program.methods[terminator.callee_key]
+        for param in callee.params:
+            targets = set(needed[callee_entry].get(param, frozenset()))
+            if param in facts[callee_entry].upward_uses:
+                targets.add(fragments[callee_entry].host)
+            terminator.arg_hosts[param] = sorted(targets)
+        if terminator.result_var:
+            cont_entry = terminator.cont_entry
+            var = terminator.result_var
+            targets = set(needed[cont_entry].get(var, frozenset()))
+            if var in facts[cont_entry].upward_uses:
+                targets.add(fragments[cont_entry].host)
+            terminator.result_hosts = sorted(targets)
+            call_results[(cont_entry, var)] = True
+    for entry, fragment in fragments.items():
+        fact = facts[entry]
+        for var in sorted(fact.defs):
+            if (entry, var) in call_results:
+                # The value arrives at its consumers straight from the
+                # returning host; the continuation never relays it.
+                continue
+            targets = sorted(
+                needed[entry].get(var, frozenset()) - {fragment.host}
+            )
+            if targets:
+                fragment.ops.append(OpForward(var, targets))

@@ -1,0 +1,359 @@
+"""Lowering from the checked AST to the splitter IR.
+
+Beyond a change of representation, lowering does three things:
+
+* resolves bare identifiers to locals vs. fields of the program instance
+  (using the checker's name-resolution table);
+* flattens method calls out of expressions into :class:`CallStmt` with
+  fresh temporaries, so every remaining expression is call-free and can
+  be evaluated entirely on one host;
+* attaches to every statement the labels, use/def sets and downgrade
+  authority that the Section 4 constraints consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..labels import Label, join_all, meet_all
+from ..lang import ast
+from ..lang.typecheck import CheckedProgram
+from . import ir
+
+
+class Lowerer:
+    def __init__(self, checked: CheckedProgram) -> None:
+        self.checked = checked
+        self._temp_counter = 0
+        #: temp assigned to each flattened call site, keyed by AST node id,
+        #: so re-lowering a loop guard reuses the same temp.
+        self._call_temps: Dict[int, str] = {}
+
+    def lower(self) -> ir.IRProgram:
+        program = ir.IRProgram()
+        for (cls, name), method_info in self.checked.methods.items():
+            ir_method = self._lower_method(cls, method_info)
+            program.methods[(cls, name)] = ir_method
+            if name == "main":
+                program.main_key = (cls, name)
+        return program
+
+    # -- methods -----------------------------------------------------------------
+
+    def _lower_method(self, cls: str, method_info) -> ir.IRMethod:
+        method = ir.IRMethod(cls, method_info.name)
+        method.begin_label = method_info.begin_label
+        method.return_label = method_info.return_label
+        method.return_base = method_info.return_base
+        method.authority = frozenset(method_info.authority)
+        for pname, pbase, plabel in method_info.params:
+            method.params.append(pname)
+            method.locals[pname] = plabel
+            method.var_bases[pname] = pbase
+        self._method = method
+        self._method_name = method_info.name
+        self._cls = cls
+        method.body = self._lower_body(method_info.decl.body.stmts, depth=0)
+        if not method.body or not isinstance(method.body[-1], ir.ReturnStmt):
+            # Normalize: every method body ends with an explicit return so
+            # the translator always has a continuation to target.
+            implicit = ir.ReturnStmt(None)
+            implicit.info.pc = method.begin_label
+            implicit.info.l_in = method.begin_label
+            method.body.append(implicit)
+        return method
+
+    def _fresh_temp(self, label: Label) -> str:
+        name = f"$t{self._temp_counter}"
+        self._temp_counter += 1
+        self._method.locals[name] = label
+        return name
+
+    # -- statements -----------------------------------------------------------------
+
+    def _lower_body(self, stmts, depth: int) -> List[ir.IRStmt]:
+        lowered: List[ir.IRStmt] = []
+        for stmt in stmts:
+            lowered.extend(self._lower_stmt(stmt, depth))
+        return lowered
+
+    def _lower_stmt(self, stmt: ast.Stmt, depth: int) -> List[ir.IRStmt]:
+        pc = self.checked.pc_of(stmt)
+        if isinstance(stmt, ast.Block):
+            return self._lower_body(stmt.stmts, depth)
+        if isinstance(stmt, ast.VarDecl):
+            key = (self._cls, self._method_name, stmt.name)
+            self._method.locals[stmt.name] = self.checked.var_labels[key]
+            self._method.var_bases[stmt.name] = stmt.type.base
+            if stmt.init is None:
+                return []
+            prefix, expr = self._lower_expr(stmt.init, pc, depth)
+            out = self._assign_var(stmt, stmt.name, expr, stmt.init, pc, depth)
+            return prefix + [out]
+        if isinstance(stmt, ast.Assign):
+            return self._lower_assign(stmt, pc, depth)
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, pc, depth)
+        if isinstance(stmt, ast.While):
+            return self._lower_while(stmt, pc, depth)
+        if isinstance(stmt, ast.Return):
+            return self._lower_return(stmt, pc, depth)
+        if isinstance(stmt, ast.ExprStmt):
+            prefix, expr = self._lower_expr(stmt.expr, pc, depth)
+            # Pure expressions have no effect; only the flattened calls in
+            # the prefix matter.
+            return prefix
+        raise AssertionError(f"unexpected statement {type(stmt).__name__}")
+
+    def _assign_var(
+        self,
+        stmt: ast.Stmt,
+        name: str,
+        expr: ir.IRExpr,
+        value_ast: ast.Expr,
+        pc: Label,
+        depth: int,
+    ) -> ir.IRStmt:
+        if isinstance(expr, ir.NewArr):
+            # The allocation's element label is the target variable's.
+            expr = ir.NewArr(expr.length, self._method.locals[name])
+        out = ir.AssignVar(name, expr)
+        self._fill_info(out, stmt, pc, depth, expr_asts=[value_ast])
+        out.info.defined_vars.add(name)
+        out.info.l_out = self._method.locals.get(name, Label.constant())
+        return out
+
+    def _lower_assign(
+        self, stmt: ast.Assign, pc: Label, depth: int
+    ) -> List[ir.IRStmt]:
+        prefix, value = self._lower_expr(stmt.value, pc, depth)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            resolution = self.checked.var_resolution[id(target)]
+            if resolution[0] == "local":
+                out = self._assign_var(
+                    stmt, target.name, value, stmt.value, pc, depth
+                )
+                return prefix + [out]
+            _, cls, fname = resolution
+            out = ir.AssignField(cls, fname, None, value)
+            self._fill_info(out, stmt, pc, depth, expr_asts=[stmt.value])
+            out.info.defined_fields.add((cls, fname))
+            out.info.l_out = self.checked.field_info(cls, fname).label
+            return prefix + [out]
+        if isinstance(target, ast.ArrayAccess):
+            array_prefix, array = self._lower_expr(target.array, pc, depth)
+            index_prefix, index = self._lower_expr(target.index, pc, depth)
+            location = Label.constant()
+            if isinstance(target.array, ast.Var):
+                location = self._method.locals.get(
+                    target.array.name, Label.constant()
+                )
+            out = ir.AssignElem(array, index, value, location)
+            self._fill_info(
+                out, stmt, pc, depth,
+                expr_asts=[stmt.value, target.array, target.index],
+            )
+            out.info.l_out = location
+            # Mark the write so entry-integrity computation sees it even
+            # though no named variable or field is defined.
+            out.info.defined_vars.add("<array-elem>")
+            self._collect_uses(array, out.info)
+            self._collect_uses(index, out.info)
+            self._collect_uses(value, out.info)
+            return prefix + array_prefix + index_prefix + [out]
+        assert isinstance(target, ast.FieldAccess)
+        obj_prefix: List[ir.IRStmt] = []
+        obj_expr: Optional[ir.IRExpr] = None
+        expr_asts = [stmt.value]
+        if target.target is not None:
+            obj_prefix, obj_expr = self._lower_expr(target.target, pc, depth)
+            expr_asts.append(target.target)
+            cls = self.checked.expr_types[id(target.target)]
+        else:
+            cls = self._cls
+        out = ir.AssignField(cls, target.field, obj_expr, value)
+        self._fill_info(out, stmt, pc, depth, expr_asts=expr_asts)
+        out.info.defined_fields.add((cls, target.field))
+        out.info.l_out = self.checked.field_info(cls, target.field).label
+        return prefix + obj_prefix + [out]
+
+    def _lower_if(self, stmt: ast.If, pc: Label, depth: int) -> List[ir.IRStmt]:
+        prefix, cond = self._lower_expr(stmt.cond, pc, depth)
+        then_body = self._lower_stmt(stmt.then_branch, depth)
+        else_body = (
+            self._lower_stmt(stmt.else_branch, depth)
+            if stmt.else_branch is not None
+            else []
+        )
+        out = ir.IfStmt(cond, then_body, else_body)
+        self._fill_info(out, stmt, pc, depth, expr_asts=[stmt.cond])
+        return prefix + [out]
+
+    def _lower_while(
+        self, stmt: ast.While, pc: Label, depth: int
+    ) -> List[ir.IRStmt]:
+        prefix, cond = self._lower_expr(stmt.cond, pc, depth + 1)
+        body = self._lower_stmt(stmt.body, depth + 1)
+        if prefix:
+            # The guard contained calls: re-evaluate them at the end of
+            # each iteration so the loop still tests fresh values.
+            body = body + self._relower_guard_prefix(stmt, pc, depth + 1)
+        out = ir.WhileStmt(cond, body)
+        self._fill_info(out, stmt, pc, depth + 1, expr_asts=[stmt.cond])
+        return prefix + [out]
+
+    def _relower_guard_prefix(
+        self, stmt: ast.While, pc: Label, depth: int
+    ) -> List[ir.IRStmt]:
+        prefix, _ = self._lower_expr(stmt.cond, pc, depth)
+        return prefix
+
+    def _lower_return(
+        self, stmt: ast.Return, pc: Label, depth: int
+    ) -> List[ir.IRStmt]:
+        if stmt.value is None:
+            out = ir.ReturnStmt(None)
+            self._fill_info(out, stmt, pc, depth, expr_asts=[])
+            return [out]
+        prefix, expr = self._lower_expr(stmt.value, pc, depth)
+        out = ir.ReturnStmt(expr)
+        self._fill_info(out, stmt, pc, depth, expr_asts=[stmt.value])
+        out.info.l_out = self._method.return_label
+        return prefix + [out]
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _lower_expr(
+        self, expr: ast.Expr, pc: Label, depth: int
+    ) -> Tuple[List[ir.IRStmt], ir.IRExpr]:
+        """Lower an expression, returning (call-flattening prefix, expr)."""
+        if isinstance(expr, ast.IntLit):
+            return [], ir.Const(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return [], ir.Const(expr.value)
+        if isinstance(expr, ast.NullLit):
+            return [], ir.Const(None)
+        if isinstance(expr, ast.Var):
+            resolution = self.checked.var_resolution[id(expr)]
+            if resolution[0] == "local":
+                return [], ir.VarUse(expr.name)
+            _, cls, fname = resolution
+            return [], ir.FieldUse(cls, fname, None)
+        if isinstance(expr, ast.FieldAccess):
+            if expr.target is None:
+                return [], ir.FieldUse(self._cls, expr.field, None)
+            prefix, obj = self._lower_expr(expr.target, pc, depth)
+            cls = self.checked.expr_types[id(expr.target)]
+            return prefix, ir.FieldUse(cls, expr.field, obj)
+        if isinstance(expr, ast.Binary):
+            left_prefix, left = self._lower_expr(expr.left, pc, depth)
+            right_prefix, right = self._lower_expr(expr.right, pc, depth)
+            return left_prefix + right_prefix, ir.BinOp(expr.op, left, right)
+        if isinstance(expr, ast.Unary):
+            prefix, operand = self._lower_expr(expr.operand, pc, depth)
+            return prefix, ir.UnOp(expr.op, operand)
+        if isinstance(expr, ast.New):
+            return [], ir.NewObj(expr.class_name)
+        if isinstance(expr, ast.NewArray):
+            # Only reachable as the direct source of an array variable
+            # (the checker enforces it); the element label is that
+            # variable's label, patched in by the assignment lowering.
+            prefix, length = self._lower_expr(expr.length, pc, depth)
+            return prefix, ir.NewArr(length, Label.constant())
+        if isinstance(expr, ast.ArrayAccess):
+            array_prefix, array = self._lower_expr(expr.array, pc, depth)
+            index_prefix, index = self._lower_expr(expr.index, pc, depth)
+            return array_prefix + index_prefix, ir.ArrayUse(array, index)
+        if isinstance(expr, ast.ArrayLength):
+            prefix, array = self._lower_expr(expr.array, pc, depth)
+            return prefix, ir.ArrayLen(array)
+        if isinstance(expr, (ast.Declassify, ast.Endorse)):
+            prefix, inner = self._lower_expr(expr.expr, pc, depth)
+            kind = "declassify" if isinstance(expr, ast.Declassify) else "endorse"
+            authority = self.checked.downgrade_authority.get(
+                id(expr), frozenset()
+            )
+            return prefix, ir.DowngradeExpr(kind, inner, expr.label, authority)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, pc, depth)
+        raise AssertionError(f"unexpected expression {type(expr).__name__}")
+
+    def _lower_call(
+        self, expr: ast.Call, pc: Label, depth: int
+    ) -> Tuple[List[ir.IRStmt], ir.IRExpr]:
+        prefix: List[ir.IRStmt] = []
+        args: List[ir.IRExpr] = []
+        for arg in expr.args:
+            arg_prefix, arg_ir = self._lower_expr(arg, pc, depth)
+            prefix.extend(arg_prefix)
+            args.append(arg_ir)
+        callee = self.checked.method_info(self._cls, expr.method)
+        result_label = self.checked.expr_labels[id(expr)]
+        if callee.return_base == "void":
+            result = None
+        elif id(expr) in self._call_temps:
+            result = self._call_temps[id(expr)]
+        else:
+            result = self._fresh_temp(result_label)
+            self._call_temps[id(expr)] = result
+            self._method.var_bases[result] = callee.return_base
+        call = ir.CallStmt(result, self._cls, expr.method, args)
+        call.info.pc = pc
+        call.info.pos = expr.pos
+        call.info.loop_depth = depth
+        labels = [self.checked.expr_labels[id(arg)] for arg in expr.args]
+        call.info.l_in = join_all(labels + [pc])
+        for arg in args:
+            self._collect_uses(arg, call.info)
+        if result is not None:
+            call.info.defined_vars.add(result)
+            call.info.l_out = result_label
+        prefix.append(call)
+        if result is None:
+            return prefix, ir.Const(None)
+        return prefix, ir.VarUse(result)
+
+    # -- statement info -----------------------------------------------------------------
+
+    def _fill_info(
+        self,
+        out: ir.IRStmt,
+        stmt: ast.Stmt,
+        pc: Label,
+        depth: int,
+        expr_asts: List[ast.Expr],
+    ) -> None:
+        info = out.info
+        info.pc = pc
+        info.pos = stmt.pos
+        info.loop_depth = depth
+        labels = [self.checked.expr_labels[id(e)] for e in expr_asts]
+        info.l_in = join_all(labels + [pc])
+        expr_irs = []
+        if isinstance(out, ir.AssignVar):
+            expr_irs = [out.expr]
+        elif isinstance(out, ir.AssignField):
+            expr_irs = [out.expr] + ([out.obj] if out.obj is not None else [])
+        elif isinstance(out, ir.ReturnStmt):
+            expr_irs = [out.expr] if out.expr is not None else []
+        elif isinstance(out, (ir.IfStmt, ir.WhileStmt)):
+            expr_irs = [out.cond]
+        for expr_ir in expr_irs:
+            self._collect_uses(expr_ir, info)
+
+    def _collect_uses(self, expr: ir.IRExpr, info: ir.StmtInfo) -> None:
+        for node in ir.walk_expr(expr):
+            if isinstance(node, ir.VarUse):
+                info.used_vars.add(node.name)
+            elif isinstance(node, ir.FieldUse):
+                info.used_fields.add((node.cls, node.field))
+            elif isinstance(node, ir.DowngradeExpr):
+                info.downgrade_principals = (
+                    info.downgrade_principals | node.authority
+                )
+
+
+def lower_program(checked: CheckedProgram) -> ir.IRProgram:
+    """Lower a checked program to splitter IR."""
+    return Lowerer(checked).lower()

@@ -1,0 +1,420 @@
+"""Host assignment by cost minimization (Section 6).
+
+Once the Section 4 constraints yield candidate sets, many assignments
+are usually legal; the splitter "uses dynamic programming to synthesize
+a good solution by attempting to minimize the number of remote control
+transfers and field accesses".  We reproduce that scheme:
+
+* statements are assigned by a dynamic program over the statement chain
+  in program order, where the transition cost between consecutive
+  statements approximates a remote control transfer and each statement
+  pays for the remote field accesses it performs, weighted by loop depth;
+
+* fields are placed to minimize total access cost from the statements
+  that touch them, biased by per-principal host preferences — a
+  preference below 1.0 can pull a principal's fields onto its own
+  machine even at some communication cost, exactly the Alice-prefers-A
+  scenario that produces the Figure 4 partition;
+
+* field and statement placement feed each other, so the two passes
+  alternate for a few rounds (they converge almost immediately on the
+  paper's benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.typecheck import CheckedProgram
+from ..trust import TrustConfiguration
+from . import ir
+from .selection import CandidateSets, SplitError
+
+#: Baseline added to field placement scores so that multiplicative
+#: preferences can override a zero communication cost (the paper lets an
+#: explicit preference win over the optimizer's default choice).
+_PREFERENCE_BASELINE = 1000.0
+#: Cost multiplier per loop nesting level.
+_LOOP_WEIGHT = 4.0
+#: Messages per remote field access (request + reply).
+_FIELD_ACCESS_MESSAGES = 2.0
+#: Rounds of alternating field/statement placement.
+_ROUNDS = 3
+
+
+class Assignment:
+    """The chosen host for every field and statement."""
+
+    def __init__(self) -> None:
+        self.fields: Dict[Tuple[str, str], str] = {}
+        self.statements: Dict[int, str] = {}
+
+    def field_host(self, cls: str, name: str) -> str:
+        return self.fields[(cls, name)]
+
+    def statement_host(self, stmt: ir.IRStmt) -> str:
+        return self.statements[stmt.info.uid]
+
+
+def _loop_weight(depth: int) -> float:
+    return _LOOP_WEIGHT ** min(depth, 6)
+
+
+class Optimizer:
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        program: ir.IRProgram,
+        config: TrustConfiguration,
+        candidates: CandidateSets,
+    ) -> None:
+        self.checked = checked
+        self.program = program
+        self.config = config
+        self.candidates = candidates
+        self.assignment = Assignment()
+        self._field_sites: Dict[Tuple[str, str], List[ir.IRStmt]] = {}
+        self._collect_field_sites()
+
+    def _collect_field_sites(self) -> None:
+        for method in self.program.methods.values():
+            for stmt in ir.walk_stmts(method.body):
+                for key in stmt.info.used_fields | stmt.info.defined_fields:
+                    self._field_sites.setdefault(key, []).append(stmt)
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> Assignment:
+        """Alternate statement/field placement from two initial seeds and
+        keep the globally cheaper outcome.
+
+        The "overlap" seed starts fields near compatible statements; the
+        "gravity" seed starts them on the host that constraint-forced
+        statements must use (which is what moves Alice's fields to T in
+        the no-preference oblivious transfer, Section 6)."""
+        best_cost = None
+        best_assignment = None
+        for seed in ("overlap", "gravity"):
+            self.assignment = Assignment()
+            self._place_fields_initial(seed)
+            for _ in range(_ROUNDS):
+                self._assign_statements()
+                self._refine_with_cfg_edges()
+                self._place_fields()
+            self._refine_with_cfg_edges()
+            cost = self._total_cost()
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_assignment = self.assignment
+        self.assignment = best_assignment
+        return self.assignment
+
+    def _total_cost(self) -> float:
+        """Estimated message cost of the current complete assignment,
+        including preference weights on field placements."""
+        cost = 0.0
+        for method in self.program.methods.values():
+            for stmt in ir.walk_stmts(method.body):
+                host = self.assignment.statements[stmt.info.uid]
+                cost += self._statement_local_cost(stmt, host)
+            for a, b, depth in build_cfg_edges(method.body):
+                cost += self.config.link_cost(
+                    self.assignment.statements[a],
+                    self.assignment.statements[b],
+                ) * _loop_weight(depth)
+        for key in self.candidates.fields:
+            host = self.assignment.fields[key]
+            cost += (
+                _PREFERENCE_BASELINE * self._field_preference(key, host)
+            )
+        return cost
+
+    def _gravity_host(self) -> Optional[str]:
+        """The host that constraint-forced statements gravitate to."""
+        votes: Dict[str, float] = {}
+        for method in self.program.methods.values():
+            for stmt in ir.walk_stmts(method.body):
+                hosts = self.candidates.statement_hosts(stmt)
+                if len(hosts) == 1:
+                    votes[hosts[0]] = votes.get(hosts[0], 0.0) + _loop_weight(
+                        stmt.info.loop_depth
+                    )
+        if not votes:
+            return None
+        return max(sorted(votes), key=votes.get)
+
+    # -- field placement ----------------------------------------------------------
+
+    def _field_preference(self, key: Tuple[str, str], host: str) -> float:
+        info = self.checked.fields[key]
+        owners = [p.name for p in info.label.conf.owners()]
+        if not owners:
+            owners = [p.name for p in info.label.integ.trust]
+        weight = 1.0
+        for owner in owners:
+            weight *= self.config.preference(owner, host)
+        return weight
+
+    def _pinned_host(self, key: Tuple[str, str]) -> Optional[str]:
+        """A pinned field placement, validated against the candidates."""
+        pin = self.config.field_pin(*key)
+        if pin is None:
+            return None
+        if pin not in self.candidates.field_hosts(key):
+            raise SplitError(
+                f"field {key[0]}.{key[1]} is pinned to {pin}, but that "
+                f"host does not satisfy its Section 4 constraints"
+            )
+        return pin
+
+    def _place_fields_initial(self, seed: str = "overlap") -> None:
+        """Before any statement hosts are known, place each field on the
+        candidate most compatible with the statements that access it —
+        or, for the "gravity" seed, on the host forced statements use."""
+        gravity = self._gravity_host() if seed == "gravity" else None
+        for key, hosts in self.candidates.fields.items():
+            pin = self._pinned_host(key)
+            if pin is not None:
+                self.assignment.fields[key] = pin
+                continue
+            if gravity is not None and any(h.name == gravity for h in hosts):
+                self.assignment.fields[key] = gravity
+                continue
+            sites = self._field_sites.get(key, [])
+            scores = []
+            for host in hosts:
+                overlap = sum(
+                    1
+                    for stmt in sites
+                    if host.name in self.candidates.statement_hosts(stmt)
+                )
+                score = (
+                    _PREFERENCE_BASELINE - overlap
+                ) * self._field_preference(key, host.name)
+                scores.append((score, host.name))
+            scores.sort()
+            self.assignment.fields[key] = scores[0][1]
+
+    def _place_fields(self) -> None:
+        for key, hosts in self.candidates.fields.items():
+            pin = self._pinned_host(key)
+            if pin is not None:
+                self.assignment.fields[key] = pin
+                continue
+            sites = self._field_sites.get(key, [])
+            scores = []
+            for host in hosts:
+                access_cost = 0.0
+                for stmt in sites:
+                    stmt_host = self.assignment.statements[stmt.info.uid]
+                    access_cost += (
+                        _FIELD_ACCESS_MESSAGES
+                        * self.config.link_cost(stmt_host, host.name)
+                        * _loop_weight(stmt.info.loop_depth)
+                    )
+                score = (
+                    access_cost + _PREFERENCE_BASELINE
+                ) * self._field_preference(key, host.name)
+                scores.append((score, host.name))
+            scores.sort()
+            self.assignment.fields[key] = scores[0][1]
+
+    # -- statement assignment ---------------------------------------------------------
+
+    def _statement_local_cost(self, stmt: ir.IRStmt, host: str) -> float:
+        """Remote-field-access cost of running ``stmt`` on ``host``."""
+        cost = 0.0
+        weight = _loop_weight(stmt.info.loop_depth)
+        for key in stmt.info.used_fields | stmt.info.defined_fields:
+            field_host = self.assignment.fields[key]
+            cost += (
+                _FIELD_ACCESS_MESSAGES
+                * self.config.link_cost(host, field_host)
+                * weight
+            )
+        if isinstance(stmt, ir.CallStmt):
+            callee = self.program.methods[(stmt.cls, stmt.method)]
+            entry_host = self._method_entry_host(callee)
+            if entry_host is not None:
+                # A call costs a transfer there and a transfer back.
+                cost += 2 * self.config.link_cost(host, entry_host) * weight
+        return cost
+
+    def _method_entry_host(self, method: ir.IRMethod) -> Optional[str]:
+        for stmt in ir.walk_stmts(method.body):
+            return self.assignment.statements.get(stmt.info.uid)
+        return None
+
+    def _assign_statements(self) -> None:
+        for method in self.program.methods.values():
+            chain = list(ir.walk_stmts(method.body))
+            if not chain:
+                continue
+            self._assign_chain(chain)
+
+    def _refine_with_cfg_edges(self, sweeps: int = 4) -> None:
+        """Local-search refinement on the real CFG.
+
+        The chain DP approximates adjacency by program order and misses
+        loop-back edges; this pass re-chooses each statement's host given
+        its true control-flow neighbors until stable (it is what parks a
+        loop guard next to the host it must sync each iteration)."""
+        for method in self.program.methods.values():
+            stmts = {s.info.uid: s for s in ir.walk_stmts(method.body)}
+            neighbors: Dict[int, List[Tuple[int, float]]] = {
+                uid: [] for uid in stmts
+            }
+            for a, b, depth in build_cfg_edges(method.body):
+                weight = _loop_weight(depth)
+                neighbors[a].append((b, weight))
+                neighbors[b].append((a, weight))
+            for _ in range(sweeps):
+                changed = False
+                for uid, stmt in stmts.items():
+                    best_host = None
+                    best_cost = None
+                    for host in self.candidates.statement_hosts(stmt):
+                        cost = self._statement_local_cost(stmt, host)
+                        for other_uid, weight in neighbors[uid]:
+                            other_host = self.assignment.statements[other_uid]
+                            cost += self.config.link_cost(host, other_host) * weight
+                        if best_cost is None or cost < best_cost:
+                            best_cost = cost
+                            best_host = host
+                    if best_host != self.assignment.statements[uid]:
+                        self.assignment.statements[uid] = best_host
+                        changed = True
+                if not changed:
+                    break
+
+    def _assign_chain(self, chain: List[ir.IRStmt]) -> None:
+        """Chain dynamic program: cost(i, h) = local(i, h) +
+        min_g [cost(i-1, g) + transfer(g, h) · weight(i)]."""
+        costs: List[Dict[str, float]] = []
+        back: List[Dict[str, Optional[str]]] = []
+        for index, stmt in enumerate(chain):
+            hosts = self.candidates.statement_hosts(stmt)
+            if not hosts:
+                raise SplitError(
+                    f"statement at {stmt.info.pos} has no candidate hosts"
+                )
+            row: Dict[str, float] = {}
+            pointers: Dict[str, Optional[str]] = {}
+            weight = _loop_weight(stmt.info.loop_depth)
+            for host in hosts:
+                local = self._statement_local_cost(stmt, host)
+                if index == 0:
+                    row[host] = local
+                    pointers[host] = None
+                else:
+                    best_prev = None
+                    best_cost = None
+                    for prev_host, prev_cost in costs[-1].items():
+                        transfer = (
+                            self.config.link_cost(prev_host, host) * weight
+                        )
+                        total = prev_cost + transfer + local
+                        if best_cost is None or total < best_cost:
+                            best_cost = total
+                            best_prev = prev_host
+                    row[host] = best_cost if best_cost is not None else local
+                    pointers[host] = best_prev
+            costs.append(row)
+            back.append(pointers)
+        # Backtrack from the cheapest final host.
+        final_host = min(costs[-1], key=costs[-1].get)
+        chosen: List[str] = [final_host]
+        for index in range(len(chain) - 1, 0, -1):
+            chosen.append(back[index][chosen[-1]])
+        chosen.reverse()
+        for stmt, host in zip(chain, chosen):
+            self.assignment.statements[stmt.info.uid] = host
+
+
+def _entry_stmt(stmt: ir.IRStmt) -> ir.IRStmt:
+    """The first placeable statement executed when control reaches
+    ``stmt`` (guards evaluate first, so structured nodes are their own
+    entries)."""
+    return stmt
+
+
+def _exit_stmts(stmt: ir.IRStmt):
+    """The statements that perform a structured statement's outgoing
+    fall-through transition."""
+    if isinstance(stmt, ir.IfStmt):
+        exits = []
+        for branch in (stmt.then_body, stmt.else_body):
+            body = [s for s in branch if not isinstance(s, ir.ReturnStmt)]
+            if branch and not _ends_in_return(branch):
+                exits.extend(_exit_stmts(branch[-1]))
+            elif not branch:
+                exits.append(stmt)
+        return exits or [stmt]
+    if isinstance(stmt, ir.WhileStmt):
+        return [stmt]
+    return [stmt]
+
+
+def _ends_in_return(body) -> bool:
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, ir.ReturnStmt):
+        return True
+    if isinstance(last, ir.IfStmt):
+        return _ends_in_return(last.then_body) and _ends_in_return(
+            last.else_body
+        )
+    return False
+
+
+def build_cfg_edges(body, depth: int = 0):
+    """Item-level control-flow edges (uid pairs with loop weights) —
+    including loop-back edges the linear chain DP cannot see."""
+    edges = []
+
+    def seq_edges(stmts, depth):
+        for index, stmt in enumerate(stmts):
+            if isinstance(stmt, ir.IfStmt):
+                inner = depth
+                for branch in (stmt.then_body, stmt.else_body):
+                    if branch:
+                        edges.append(
+                            (stmt.info.uid, branch[0].info.uid, inner)
+                        )
+                        seq_edges(branch, inner)
+                following = stmts[index + 1] if index + 1 < len(stmts) else None
+                if following is not None:
+                    for exit_stmt in _exit_stmts(stmt):
+                        edges.append(
+                            (exit_stmt.info.uid, following.info.uid, depth)
+                        )
+            elif isinstance(stmt, ir.WhileStmt):
+                inner = depth + 1
+                if stmt.body:
+                    edges.append((stmt.info.uid, stmt.body[0].info.uid, inner))
+                    seq_edges(stmt.body, inner)
+                    for exit_stmt in _exit_stmts(stmt.body[-1]):
+                        edges.append(
+                            (exit_stmt.info.uid, stmt.info.uid, inner)
+                        )
+                following = stmts[index + 1] if index + 1 < len(stmts) else None
+                if following is not None:
+                    edges.append((stmt.info.uid, following.info.uid, depth))
+            else:
+                following = stmts[index + 1] if index + 1 < len(stmts) else None
+                if following is not None:
+                    edges.append((stmt.info.uid, following.info.uid, depth))
+
+    seq_edges(body, depth)
+    return edges
+
+
+def assign_hosts(
+    checked: CheckedProgram,
+    program: ir.IRProgram,
+    config: TrustConfiguration,
+    candidates: CandidateSets,
+) -> Assignment:
+    """Pick a host for every field and statement."""
+    return Optimizer(checked, program, config, candidates).run()

@@ -1,0 +1,207 @@
+"""Post-translation validation of a split program.
+
+The translator is supposed to emit sync/lgoto pairs that keep the global
+integrity control stack a stack (Section 6: "An lgoto must be inserted
+exactly once on every control flow path out of the corresponding sync,
+and the sync-lgoto pairs must be well nested").  This module *checks*
+that property — and re-checks every Section 5.5 transfer constraint — by
+abstract interpretation of the fragment graph with a symbolic token
+stack.  It runs as the last stage of ``split_program`` so a translator
+bug can never ship an unbalanced protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..labels import C, I
+from .fragments import (
+    EdgeAction,
+    Fragment,
+    SplitProgram,
+    TermBranch,
+    TermCall,
+    TermHalt,
+    TermJump,
+    TermReturn,
+)
+from .selection import SplitError
+
+#: Symbolic stack entries: the entry id a pending capability returns to.
+Context = Tuple[str, ...]
+
+
+class ValidationError(SplitError):
+    """The translated program violates the ICS discipline."""
+
+
+class _Validator:
+    def __init__(self, split: SplitProgram) -> None:
+        self.split = split
+        #: entry -> symbolic context at its start (must be consistent).
+        self.seen: Dict[str, Context] = {}
+        self._work: List[Tuple[str, Context]] = []
+
+    # -- driver -----------------------------------------------------------
+
+    def validate(self) -> None:
+        assert self.split.main_entry is not None
+        self._push(self.split.main_entry, ("<root>",))
+        while self._work:
+            entry, context = self._work.pop()
+            self._flow(entry, context)
+
+    def _push(self, entry: str, context: Context) -> None:
+        previous = self.seen.get(entry)
+        if previous is None:
+            self.seen[entry] = context
+            self._work.append((entry, context))
+        elif previous != context:
+            raise ValidationError(
+                f"entry {entry} is reachable with capability contexts "
+                f"{previous} and {context}: the ICS would not be a stack"
+            )
+
+    # -- per-fragment flow ---------------------------------------------------
+
+    def _flow(self, entry: str, context: Context) -> None:
+        fragment = self.split.fragments[entry]
+        terminator = fragment.terminator
+        if isinstance(terminator, TermJump):
+            self._flow_plan(fragment, terminator.plan, context)
+        elif isinstance(terminator, TermBranch):
+            self._flow_plan(fragment, terminator.plan_true, context)
+            self._flow_plan(fragment, terminator.plan_false, context)
+        elif isinstance(terminator, TermCall):
+            self._flow_call(fragment, terminator, context)
+        elif isinstance(terminator, TermReturn):
+            self._flow_return(fragment, context)
+        elif isinstance(terminator, TermHalt):
+            pass
+        else:
+            raise ValidationError(f"unknown terminator in {entry}")
+
+    def _flow_plan(
+        self, fragment: Fragment, plan: List[EdgeAction], context: Context
+    ) -> None:
+        stack = list(context)
+        for action in plan:
+            if action.kind == "sync":
+                self._check_sync(fragment, action.entry)
+                stack.append(action.entry)
+            elif action.kind == "local":
+                target = self.split.fragments[action.entry]
+                if target.host != fragment.host:
+                    raise ValidationError(
+                        f"local edge {fragment.entry} -> {action.entry} "
+                        f"crosses hosts"
+                    )
+                self._push(action.entry, tuple(stack))
+                return
+            elif action.kind == "rgoto":
+                self._check_rgoto(fragment, action.entry)
+                self._push(action.entry, tuple(stack))
+                return
+            elif action.kind == "lgoto":
+                if not stack:
+                    raise ValidationError(
+                        f"{fragment.entry}: lgoto with empty capability "
+                        f"context"
+                    )
+                expected = stack.pop()
+                if expected in ("<root>", "<dynamic>"):
+                    # Only a method *return* may consume the method's
+                    # incoming capability; a plan lgoto doing so means a
+                    # sync went missing somewhere.
+                    raise ValidationError(
+                        f"{fragment.entry}: lgoto would consume the "
+                        f"method's incoming capability ({expected})"
+                    )
+                if action.entry is not None and expected != action.entry:
+                    raise ValidationError(
+                        f"{fragment.entry}: lgoto targets {action.entry} "
+                        f"but the pending capability is for {expected}"
+                    )
+                self._push(expected, tuple(stack))
+                return
+            elif action.kind == "halt":
+                return
+            else:
+                raise ValidationError(
+                    f"{fragment.entry}: unknown action {action.kind!r}"
+                )
+        raise ValidationError(
+            f"{fragment.entry}: plan ends without a control transfer"
+        )
+
+    def _flow_call(
+        self, fragment: Fragment, terminator: TermCall, context: Context
+    ) -> None:
+        # The caller pushes its continuation capability, the callee body
+        # runs above it, and the callee's return pops it.  The callee is
+        # analyzed against an *abstract* base context ("<dynamic>") since
+        # different call sites provide different concrete capabilities;
+        # the caller's own flow resumes at the continuation.
+        cont = terminator.cont_entry
+        cont_fragment = self.split.fragments[cont]
+        if cont_fragment.host != fragment.host:
+            raise ValidationError(
+                f"{fragment.entry}: call continuation {cont} is on "
+                f"{cont_fragment.host}, not the caller's host"
+            )
+        self._check_rgoto(fragment, terminator.callee_entry)
+        self._push(terminator.callee_entry, ("<dynamic>",))
+        self._push(cont, tuple(context))
+
+    def _flow_return(self, fragment: Fragment, context: Context) -> None:
+        if not context:
+            raise ValidationError(
+                f"{fragment.entry}: return with empty capability context"
+            )
+        stack = list(context)
+        target = stack.pop()
+        if target in ("<root>", "<dynamic>"):
+            return  # program halt, or return to the (abstract) caller
+        self._push(target, tuple(stack))
+
+    # -- Section 5.5 constraint re-checks ------------------------------------------
+
+    def _check_rgoto(self, fragment: Fragment, entry: str) -> None:
+        target = self.split.fragments[entry]
+        hierarchy = self.split.config.hierarchy
+        source_host = self.split.config.host(fragment.host)
+        if not source_host.integ.flows_to(target.integ, hierarchy):
+            raise ValidationError(
+                f"illegal rgoto {fragment.entry} -> {entry}: "
+                f"I_{fragment.host} ⋢ I_e"
+            )
+        target_host = self.split.config.host(target.host)
+        if not C(fragment.pc).flows_to(target_host.conf, hierarchy):
+            raise ValidationError(
+                f"rgoto {fragment.entry} -> {entry} leaks pc to "
+                f"{target.host}"
+            )
+
+    def _check_sync(self, fragment: Fragment, entry: str) -> None:
+        target = self.split.fragments[entry]
+        hierarchy = self.split.config.hierarchy
+        source_host = self.split.config.host(fragment.host)
+        if not source_host.integ.flows_to(target.integ, hierarchy):
+            raise ValidationError(
+                f"illegal sync {fragment.entry} -> {entry}: "
+                f"I_{fragment.host} ⋢ I_e"
+            )
+        # I_h ⊑ I(pc): the capability's host must not profit from
+        # invoking it early.
+        holder = self.split.config.host(target.host)
+        if not holder.integ.flows_to(I(fragment.pc), hierarchy):
+            raise ValidationError(
+                f"sync {fragment.entry} -> {entry}: host {target.host} "
+                f"could abuse the capability (I_h ⋢ I(pc))"
+            )
+
+
+def validate_split(split: SplitProgram) -> None:
+    """Validate the ICS discipline and transfer constraints; raise
+    :class:`ValidationError` on any violation."""
+    _Validator(split).validate()

@@ -1,0 +1,29 @@
+"""Trust declarations relating principals to hosts (Section 3.1)."""
+
+from .declarations import (
+    DelegationDeclaration,
+    HostDescriptor,
+    KeyRegistry,
+    TrustDeclaration,
+    TrustError,
+    hierarchy_from_declarations,
+)
+from .config import (
+    DEFAULT_REMOTE_COST,
+    LOCAL_COST,
+    TrustConfiguration,
+    example_hosts,
+)
+
+__all__ = [
+    "DelegationDeclaration",
+    "hierarchy_from_declarations",
+    "HostDescriptor",
+    "KeyRegistry",
+    "TrustDeclaration",
+    "TrustError",
+    "DEFAULT_REMOTE_COST",
+    "LOCAL_COST",
+    "TrustConfiguration",
+    "example_hosts",
+]

@@ -1,0 +1,32 @@
+"""The Section 7.1 benchmark workloads: List, OT, Tax, Work, and the
+hand-coded RMI baselines OT-h and Tax-h."""
+
+from . import listcompare, medical, ot, tax, work
+from .base import (
+    WorkloadResult,
+    annotation_ratio,
+    count_lines,
+    run_workload,
+    verify_against_oracle,
+)
+from .handcoded import (
+    HandcodedResult,
+    run_ot_handcoded,
+    run_tax_handcoded,
+)
+
+__all__ = [
+    "listcompare",
+    "medical",
+    "ot",
+    "tax",
+    "work",
+    "WorkloadResult",
+    "annotation_ratio",
+    "count_lines",
+    "run_workload",
+    "verify_against_oracle",
+    "HandcodedResult",
+    "run_ot_handcoded",
+    "run_tax_handcoded",
+]

@@ -1,0 +1,96 @@
+"""The List benchmark (Section 7.1).
+
+Two identical 100-element linked lists that must live on *different*
+hosts because of confidentiality (one is Alice's, one is Bob's); a third
+host traverses both and compares them element by element.  Values move
+by data forwards — never by remote field reads from the comparing host —
+so the profile is forward-dominated with balanced rgoto/lgoto, which is
+the paper's List row.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import CostModel
+from ..trust import HostDescriptor, TrustConfiguration
+from .base import WorkloadResult, run_workload
+
+DEFAULT_ELEMENTS = 100
+
+
+def source(elements: int = DEFAULT_ELEMENTS) -> str:
+    return f"""
+class ANode {{
+  int{{Alice:}} val;
+  ANode{{Alice:}} next;
+}}
+
+class BNode {{
+  int{{Bob:}} val;
+  BNode{{Bob:}} next;
+}}
+
+class ListCompare {{
+  boolean{{Alice:; Bob:}} listsEqual;
+
+  void main{{?:Alice}}() {{
+    ANode{{Alice:}} headA = null;
+    BNode{{Bob:}} headB = null;
+    int{{?:Alice}} b = 0;
+    while (b < {elements}) {{
+      ANode{{Alice:}} na = new ANode();
+      na.val = b * 7 % 13;
+      na.next = headA;
+      headA = na;
+      BNode{{Bob:}} nb = new BNode();
+      nb.val = b * 7 % 13;
+      nb.next = headB;
+      headB = nb;
+      b = b + 1;
+    }}
+    boolean{{Alice:; Bob:}} eq = true;
+    ANode{{Alice:}} pa = headA;
+    BNode{{Bob:}} pb = headB;
+    int{{?:Alice}} i = 0;
+    while (i < {elements}) {{
+      int{{Alice:}} va = pa.val;
+      pa = pa.next;
+      int{{Bob:}} vb = pb.val;
+      pb = pb.next;
+      eq = eq && va == vb;
+      i = i + 1;
+    }}
+    listsEqual = eq;
+  }}
+}}
+"""
+
+
+def config() -> TrustConfiguration:
+    trust = TrustConfiguration(
+        [
+            HostDescriptor.of("A", "{Alice:}", "{?:Alice}"),
+            HostDescriptor.of("B", "{Bob:}", "{?:Bob}"),
+            HostDescriptor.of("T", "{Alice:; Bob:}", "{?:Alice}"),
+        ]
+    )
+    trust.set_preference("Alice", "A", 0.5)
+    trust.set_preference("Bob", "B", 0.5)
+    return trust
+
+
+def run(
+    elements: int = DEFAULT_ELEMENTS,
+    opt_level: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> WorkloadResult:
+    result = run_workload(
+        "List",
+        source(elements),
+        config(),
+        opt_level=opt_level,
+        cost_model=cost_model,
+    )
+    assert result.execution.field_value("ListCompare", "listsEqual") is True
+    return result

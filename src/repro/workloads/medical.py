@@ -1,0 +1,143 @@
+"""A larger workload: the integrated medical information system the
+paper's introduction uses to motivate secure partitioning ("stores
+patient and physician records, raw test data, and employee records, and
+supports information exchange with other medical institutions").
+
+Unlike the four Table 1 kernels this is a *program*, not a kernel: four
+principals, five hosts, arrays of raw test data, a physician scoring
+method, two declassifications (a referral summary for the partner
+institution and a billing code for the insurer), and an audit counter.
+It is the "larger and more realistic program" the paper's future-work
+section calls for, used to characterize how the splitter behaves beyond
+50-line kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import CostModel
+from ..trust import HostDescriptor, TrustConfiguration
+from .base import WorkloadResult, run_workload
+
+DEFAULT_PATIENTS = 25
+
+
+def source(patients: int = DEFAULT_PATIENTS) -> str:
+    return f"""
+class MedicalSystem authority(Patient) {{
+  // Raw laboratory data: patient-owned, lab- and clinic-readable,
+  // produced (and therefore trusted) by the lab.
+  int{{Patient: Lab, Clinic; ?:Lab}} labSeed = 17;
+
+  // The clinic's working state.
+  int{{Patient: Clinic}} totalScore;
+  int{{Patient: Clinic}} flaggedCases;
+
+  // What leaves the clinic, by explicit patient-authorized release:
+  int{{Patient: Partner}} referralSummary;
+  int{{Patient: Insurer}} billingUnits;
+
+  // Operational audit data, trusted by the clinic, no secrets.
+  int{{?:Clinic}} casesProcessed;
+
+  int{{Patient: Lab, Clinic}} measure{{?:Clinic}}(
+      int{{Patient: Lab, Clinic}} sample) {{
+    return sample * 3 % 101;
+  }}
+
+  int{{Patient: Clinic}} score{{?:Clinic}}(int{{Patient: Clinic}} a,
+                                           int{{Patient: Clinic}} b) {{
+    if (a > b) return a - b;
+    else return b - a;
+  }}
+
+  void main{{?:Clinic, Patient}}() where authority(Patient) {{
+    int{{Patient: Clinic}}[] readings = new int[{patients}];
+    int{{?:Clinic}} i = 0;
+    while (i < {patients}) {{
+      int{{Patient: Lab, Clinic}} raw = measure(labSeed + i);
+      readings[i] = raw + 0;
+      i = i + 1;
+    }}
+
+    int{{Patient: Clinic}} total = 0;
+    int{{Patient: Clinic}} flagged = 0;
+    i = 0;
+    while (i < {patients}) {{
+      int{{Patient: Clinic}} s = score(readings[i], 50);
+      total = total + s;
+      if (s > 40) flagged = flagged + 1;
+      casesProcessed = casesProcessed + 1;
+      i = i + 1;
+    }}
+    totalScore = total;
+    flaggedCases = flagged;
+
+    // Patient-authorized releases: the partner institution learns only
+    // the number of referral-worthy cases; the insurer only a billing
+    // quantity derived from volume, never from the scores.
+    referralSummary = declassify(flagged, {{Patient: Partner}});
+    billingUnits = declassify(casesProcessed * 2 + flagged % 2,
+                              {{Patient: Insurer}});
+  }}
+}}
+"""
+
+
+def config() -> TrustConfiguration:
+    trust = TrustConfiguration(
+        [
+            HostDescriptor.of(
+                "LabHost",
+                "{Patient: Lab, Clinic; Lab:}",
+                "{?:Lab, Clinic}",
+            ),
+            HostDescriptor.of(
+                "ClinicHost", "{Patient:; Clinic:}", "{?:Clinic, Patient}"
+            ),
+            HostDescriptor.of(
+                "PartnerHost", "{Patient: Partner; Partner:}", "{?:Partner}"
+            ),
+            HostDescriptor.of(
+                "InsurerHost", "{Patient: Insurer; Insurer:}", "{?:Insurer}"
+            ),
+        ]
+    )
+    trust.pin_field("MedicalSystem", "labSeed", "LabHost")
+    trust.pin_field("MedicalSystem", "referralSummary", "PartnerHost")
+    trust.pin_field("MedicalSystem", "billingUnits", "InsurerHost")
+    return trust
+
+
+def expected(patients: int = DEFAULT_PATIENTS):
+    readings = [(17 + i) * 3 % 101 for i in range(patients)]
+    scores = [abs(r - 50) for r in readings]
+    total = sum(scores)
+    flagged = sum(1 for s in scores if s > 40)
+    return {
+        "totalScore": total,
+        "flaggedCases": flagged,
+        "referralSummary": flagged,
+        "billingUnits": patients * 2 + flagged % 2,
+        "casesProcessed": patients,
+    }
+
+
+def run(
+    patients: int = DEFAULT_PATIENTS,
+    opt_level: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> WorkloadResult:
+    result = run_workload(
+        "Medical",
+        source(patients),
+        config(),
+        opt_level=opt_level,
+        cost_model=cost_model,
+    )
+    want = expected(patients)
+    for field, value in want.items():
+        actual = result.execution.field_value("MedicalSystem", field)
+        assert actual == value, (field, actual, value)
+    return result

@@ -1,0 +1,91 @@
+"""The OT benchmark: one hundred oblivious transfers (Section 7.1).
+
+Alice holds two values; Bob requests one per round without revealing his
+choice to Alice.  Hosts: Alice's machine A, Bob's machine B, and the
+third party T of Section 3.1 (oblivious transfer is known to need one).
+Alice declares a preference for her fields to live on her own machine,
+which is what produces the Figure 4 partition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import CostModel
+from ..trust import HostDescriptor, TrustConfiguration
+from .base import WorkloadResult, run_workload
+
+DEFAULT_ROUNDS = 100
+
+
+def source(rounds: int = DEFAULT_ROUNDS) -> str:
+    return f"""
+class OTBench authority(Alice) {{
+  int{{Alice:; ?:Alice}} m1;
+  int{{Alice:; ?:Alice}} m2;
+  boolean{{Alice: Bob; ?:Alice}} isAccessed;
+  int{{Bob:; ?:Bob}} request = 1;
+  int{{Bob:}} received;
+
+  int{{Bob:}} transfer{{?:Alice}}(int{{Bob:}} n) where authority(Alice) {{
+    int tmp1 = m1;
+    int tmp2 = m2;
+    if (!isAccessed) {{
+      isAccessed = true;
+      if (endorse(n, {{?:Alice}}) == 1)
+        return declassify(tmp1, {{Bob:}});
+      else
+        return declassify(tmp2, {{Bob:}});
+    }}
+    else return declassify(0, {{Bob:}});
+  }}
+
+  void main{{?:Alice}}() where authority(Alice) {{
+    m1 = 4242;
+    m2 = 1717;
+    int{{?:Alice}} i = 0;
+    int{{Bob:}} total = 0;
+    while (i < {rounds}) {{
+      isAccessed = false;
+      int{{Bob:}} choice = request;
+      int{{Bob:}} r = transfer(choice);
+      total = total + r;
+      i = i + 1;
+    }}
+    received = total;
+  }}
+}}
+"""
+
+
+def config(prefer_alice_a: bool = True) -> TrustConfiguration:
+    trust = TrustConfiguration(
+        [
+            HostDescriptor.of("A", "{Alice:}", "{?:Alice}"),
+            HostDescriptor.of("B", "{Bob:}", "{?:Bob}"),
+            HostDescriptor.of("T", "{Alice:; Bob:}", "{?:Alice}"),
+        ]
+    )
+    if prefer_alice_a:
+        trust.set_preference("Alice", "A", 0.5)
+    trust.set_preference("Bob", "B", 0.5)
+    return trust
+
+
+def run(
+    rounds: int = DEFAULT_ROUNDS,
+    opt_level: int = 1,
+    cost_model: Optional[CostModel] = None,
+    prefer_alice_a: bool = True,
+) -> WorkloadResult:
+    result = run_workload(
+        "OT",
+        source(rounds),
+        config(prefer_alice_a),
+        opt_level=opt_level,
+        cost_model=cost_model,
+    )
+    expected = 4242 * rounds
+    actual = result.execution.field_value("OTBench", "received")
+    assert actual == expected, f"OT computed {actual}, expected {expected}"
+    return result

@@ -1,0 +1,95 @@
+"""The Tax benchmark (Section 7.1).
+
+A tax preparation service: the client's trading records live on the
+stockbroker's machine, the client's bank account on the bank's machine,
+and the tax preparer computes on a third host.  The client owns all the
+data; each institution may read only its own slice (reader sets), and
+``declassify`` is used twice — once to let the preparer see each trade,
+once to let the bank see the per-trade levy.  All hosts carry the
+client's integrity, so control is a pure rgoto pipeline: zero lgoto,
+zero getField, exactly the paper's Tax profile.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import CostModel
+from ..trust import HostDescriptor, TrustConfiguration
+from .base import WorkloadResult, run_workload
+
+DEFAULT_RECORDS = 100
+
+
+def source(records: int = DEFAULT_RECORDS) -> str:
+    return f"""
+class TaxService authority(Client) {{
+  int{{Client: Broker}} tradeSeed = 3;
+  int{{Client: Bank}} account = 100000;
+  int{{Client: Preparer}} totalGains;
+  int{{Client: Preparer}} taxDue;
+  int{{Client: Bank}} leviesCollected;
+  int{{Client: Bank}} finalBalance;
+
+  void main{{?:Client}}() where authority(Client) {{
+    int{{?:Client}} i = 0;
+    while (i < {records}) {{
+      int{{Client: Broker}} trade = tradeSeed + i * 5 % 97;
+      int{{Client: Preparer}} gain = declassify(trade, {{Client: Preparer}});
+      int{{Client: Bank}} levy = declassify((trade + tradeSeed) % 7, {{Client: Bank}});
+      totalGains = totalGains + gain;
+      leviesCollected = leviesCollected + levy;
+      i = i + 1;
+    }}
+    taxDue = totalGains / 10;
+    finalBalance = account - leviesCollected;
+  }}
+}}
+"""
+
+
+def config() -> TrustConfiguration:
+    """Each institution's host: cleared for its slice of the client's
+    data, and trusted by the client to carry out the computation.  The
+    institutional data is pinned where it really lives — trading records
+    at the broker, the account at the bank."""
+    trust = TrustConfiguration(
+        [
+            HostDescriptor.of(
+                "Broker", "{Client: Broker; Broker:}", "{?:Client, Broker}"
+            ),
+            HostDescriptor.of(
+                "Bank", "{Client: Bank; Bank:}", "{?:Client, Bank}"
+            ),
+            HostDescriptor.of(
+                "Prep", "{Client:; Preparer:}", "{?:Client, Preparer}"
+            ),
+        ]
+    )
+    trust.pin_field("TaxService", "tradeSeed", "Broker")
+    trust.pin_field("TaxService", "account", "Bank")
+    return trust
+
+
+def run(
+    records: int = DEFAULT_RECORDS,
+    opt_level: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> WorkloadResult:
+    result = run_workload(
+        "Tax",
+        source(records),
+        config(),
+        opt_level=opt_level,
+        cost_model=cost_model,
+    )
+    trades = [3 + i * 5 % 97 for i in range(records)]
+    expected_gains = sum(trades)
+    actual = result.execution.field_value("TaxService", "totalGains")
+    assert actual == expected_gains, (
+        f"Tax computed {actual}, expected {expected_gains}"
+    )
+    expected_levies = sum((trade + 3) % 7 for trade in trades)
+    levies = result.execution.field_value("TaxService", "leviesCollected")
+    assert levies == expected_levies
+    return result

@@ -1,0 +1,80 @@
+"""The Work benchmark (Section 7.1).
+
+A compute-intensive program split across two hosts that communicates
+relatively little: Alice's machine does a block of local arithmetic per
+round; Bob's machine updates his private progress ticker.  Each round
+costs exactly one rgoto down to B and one capability-protected lgoto
+back up — 300 rounds reproduce the paper's 300/300 rgoto/lgoto row with
+no data messages at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime import CostModel
+from ..trust import HostDescriptor, TrustConfiguration
+from .base import WorkloadResult, run_workload
+
+DEFAULT_ROUNDS = 300
+INNER_STEPS = 25
+
+
+def source(rounds: int = DEFAULT_ROUNDS, inner: int = INNER_STEPS) -> str:
+    return f"""
+class Work {{
+  int{{Alice:; ?:Alice}} aliceResult;
+  int{{Bob:}} bobTicker;
+
+  void main{{?:Alice}}() {{
+    int{{?:Alice}} i = 0;
+    int{{Alice:; ?:Alice}} acc = 7;
+    while (i < {rounds}) {{
+      int{{Alice:; ?:Alice}} j = 0;
+      while (j < {inner}) {{
+        acc = (acc * 31 + j) % 1000003;
+        j = j + 1;
+      }}
+      bobTicker = bobTicker + 1;
+      i = i + 1;
+    }}
+    aliceResult = acc;
+  }}
+}}
+"""
+
+
+def config() -> TrustConfiguration:
+    return TrustConfiguration(
+        [
+            HostDescriptor.of("A", "{Alice:}", "{?:Alice}"),
+            HostDescriptor.of("B", "{Bob:}", "{?:Bob}"),
+        ]
+    )
+
+
+def expected_result(rounds: int = DEFAULT_ROUNDS, inner: int = INNER_STEPS) -> int:
+    acc = 7
+    for _ in range(rounds):
+        for j in range(inner):
+            acc = (acc * 31 + j) % 1000003
+    return acc
+
+
+def run(
+    rounds: int = DEFAULT_ROUNDS,
+    inner: int = INNER_STEPS,
+    opt_level: int = 1,
+    cost_model: Optional[CostModel] = None,
+) -> WorkloadResult:
+    result = run_workload(
+        "Work",
+        source(rounds, inner),
+        config(),
+        opt_level=opt_level,
+        cost_model=cost_model,
+    )
+    actual = result.execution.field_value("Work", "aliceResult")
+    assert actual == expected_result(rounds, inner)
+    assert result.execution.field_value("Work", "bobTicker") == rounds
+    return result

@@ -1,0 +1,55 @@
+"""Every shipped example must run to completion — they are executable
+documentation, so they are tested like code."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "adjusted = 123600" in output
+        assert "every attack rejected" in output
+
+    def test_oblivious_transfer(self):
+        output = run_example("oblivious_transfer.py")
+        assert "splitter rejected the program" in output
+        assert "Bob received: 100" in output
+        assert "all attacks rejected" in output
+
+    def test_tax_service(self):
+        output = run_example("tax_service.py")
+        assert "total gains:" in output
+        assert "the broker is contained" in output
+
+    def test_medical_records(self):
+        output = run_example("medical_records.py")
+        assert "eligible = True" in output
+        assert "rejected at compile time" in output
+
+    def test_procurement(self):
+        output = run_example("procurement.py")
+        assert "deal struck:  True" in output
+        assert "agreed price: 800" in output
+
+    def test_cli_sample_files_work_end_to_end(self, capsys):
+        from repro.cli import main
+
+        program = str(EXAMPLES / "programs" / "payroll.jif")
+        hosts = str(EXAMPLES / "programs" / "hosts_ab.json")
+        assert main(["run", program, "--hosts", hosts]) == 0
+        assert "123600" in capsys.readouterr().out

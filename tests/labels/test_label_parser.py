@@ -1,0 +1,117 @@
+"""Tests for parsing of label literals."""
+
+import pytest
+
+from repro.labels import (
+    ConfPolicy,
+    IntegLabel,
+    LabelSyntaxError,
+    Principal,
+    parse_conf_label,
+    parse_integ_label,
+    parse_label,
+)
+
+
+class TestParseLabel:
+    def test_empty_label(self):
+        label = parse_label("{}")
+        assert label.conf.is_public
+        assert label.integ.is_untrusted
+
+    def test_single_owner_no_readers(self):
+        label = parse_label("{Alice:}")
+        assert label.conf.owners() == frozenset({Principal("Alice")})
+        assert label.conf.readers_for(Principal("Alice")) == frozenset()
+
+    def test_owner_with_readers(self):
+        label = parse_label("{Alice: Bob, Carol}")
+        assert label.conf.readers_for(Principal("Alice")) == frozenset(
+            {Principal("Bob"), Principal("Carol")}
+        )
+
+    def test_figure2_field_label(self):
+        label = parse_label("{Alice:; ?:Alice}")
+        assert label.conf.policies == frozenset({ConfPolicy("Alice", [])})
+        assert label.integ.trust == frozenset({Principal("Alice")})
+
+    def test_multiple_owners(self):
+        label = parse_label("{o1: r1, r2; o2: r1, r3}")
+        assert len(label.conf.policies) == 2
+
+    def test_integrity_only(self):
+        label = parse_label("{?: Alice, Bob}")
+        assert label.conf.is_public
+        assert label.integ.trust == frozenset(
+            {Principal("Alice"), Principal("Bob")}
+        )
+
+    def test_empty_integrity(self):
+        assert parse_label("{?:}").integ.is_untrusted
+
+    def test_star_means_trusted_by_all(self):
+        assert parse_label("{?: *}").integ == IntegLabel.bottom()
+
+    def test_whitespace_insensitive(self):
+        a = parse_label("{ Alice :  Bob ; ? : Alice }")
+        b = parse_label("{Alice:Bob;?:Alice}")
+        assert a == b
+
+    def test_same_owner_twice_intersects(self):
+        label = parse_label("{Alice: Bob, Carol; Alice: Carol, Dave}")
+        assert label.conf.readers_for(Principal("Alice")) == frozenset(
+            {Principal("Carol")}
+        )
+
+    def test_missing_braces_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("Alice:")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("{Alice}")
+
+    def test_bad_owner_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("{9lice:}")
+
+    def test_bad_reader_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("{Alice: B@b}")
+
+    def test_star_as_reader_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("{Alice: *}")
+
+    def test_star_mixed_with_names_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("{?: *, Alice}")
+
+    def test_duplicate_integrity_rejected(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_label("{?: Alice; ?: Bob}")
+
+
+class TestProjectionsParsers:
+    def test_parse_conf_label(self):
+        conf = parse_conf_label("{Alice:; Bob:}")
+        assert conf.owners() == frozenset(
+            {Principal("Alice"), Principal("Bob")}
+        )
+
+    def test_parse_conf_label_rejects_integrity(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_conf_label("{?: Alice}")
+
+    def test_parse_integ_label(self):
+        integ = parse_integ_label("{?: Alice}")
+        assert integ.trust == frozenset({Principal("Alice")})
+
+    def test_parse_integ_label_rejects_conf(self):
+        with pytest.raises(LabelSyntaxError):
+            parse_integ_label("{Alice:}")
+
+    def test_label_of_shortcut(self):
+        from repro.labels import Label
+
+        assert Label.of("{Alice:}") == parse_label("{Alice:}")

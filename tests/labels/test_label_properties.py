@@ -1,0 +1,156 @@
+"""Property-based tests: the label equivalence classes form a distributive
+lattice under ⊑ (Section 2.1), with ⊔/⊓ as join/meet.
+
+Because ⊑ is a pre-order (labels like {Alice:} and {Alice: Alice} are
+distinct representations of the same point), all lattice laws are checked
+up to equivalence (mutual flows_to), not structural equality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labels import ConfLabel, ConfPolicy, IntegLabel, Label, principals
+
+PRINCIPALS = list(principals("Alice", "Bob", "Carol", "Dave"))
+
+principal_st = st.sampled_from(PRINCIPALS)
+reader_sets = st.frozensets(principal_st, max_size=3)
+
+conf_policies = st.builds(ConfPolicy, principal_st, reader_sets)
+conf_labels = st.one_of(
+    st.builds(lambda ps: ConfLabel(ps), st.lists(conf_policies, max_size=3)),
+    st.just(ConfLabel.public()),
+    st.just(ConfLabel.top()),
+)
+integ_labels = st.one_of(
+    st.builds(IntegLabel, st.frozensets(principal_st, max_size=3)),
+    st.just(IntegLabel.bottom()),
+)
+labels = st.builds(Label, conf_labels, integ_labels)
+
+
+def equivalent(a, b):
+    return a.flows_to(b) and b.flows_to(a)
+
+
+@given(labels)
+def test_reflexive(a):
+    assert a.flows_to(a)
+
+
+@given(labels, labels, labels)
+@settings(max_examples=200)
+def test_transitive(a, b, c):
+    if a.flows_to(b) and b.flows_to(c):
+        assert a.flows_to(c)
+
+
+@given(labels, labels)
+def test_join_is_upper_bound(a, b):
+    joined = a.join(b)
+    assert a.flows_to(joined)
+    assert b.flows_to(joined)
+
+
+@given(labels, labels)
+def test_meet_is_lower_bound(a, b):
+    met = a.meet(b)
+    assert met.flows_to(a)
+    assert met.flows_to(b)
+
+
+@given(labels, labels, labels)
+@settings(max_examples=200)
+def test_join_is_least_upper_bound(a, b, c):
+    if a.flows_to(c) and b.flows_to(c):
+        assert a.join(b).flows_to(c)
+
+
+@given(labels, labels, labels)
+@settings(max_examples=200)
+def test_meet_is_greatest_lower_bound(a, b, c):
+    if c.flows_to(a) and c.flows_to(b):
+        assert c.flows_to(a.meet(b))
+
+
+@given(labels, labels)
+def test_join_commutative(a, b):
+    assert equivalent(a.join(b), b.join(a))
+
+
+@given(labels, labels)
+def test_meet_commutative(a, b):
+    assert equivalent(a.meet(b), b.meet(a))
+
+
+@given(labels, labels, labels)
+def test_join_associative(a, b, c):
+    assert equivalent(a.join(b).join(c), a.join(b.join(c)))
+
+
+@given(labels, labels, labels)
+def test_meet_associative(a, b, c):
+    assert equivalent(a.meet(b).meet(c), a.meet(b.meet(c)))
+
+
+@given(labels)
+def test_join_idempotent(a):
+    assert equivalent(a.join(a), a)
+
+
+@given(labels)
+def test_meet_idempotent(a):
+    assert equivalent(a.meet(a), a)
+
+
+@given(labels, labels)
+def test_absorption(a, b):
+    assert equivalent(a.join(a.meet(b)), a)
+    assert equivalent(a.meet(a.join(b)), a)
+
+
+@given(labels, labels, labels)
+@settings(max_examples=200)
+def test_distributive(a, b, c):
+    lhs = a.meet(b.join(c))
+    rhs = a.meet(b).join(a.meet(c))
+    assert equivalent(lhs, rhs)
+
+
+@given(labels, labels)
+def test_order_agrees_with_join(a, b):
+    # a ⊑ b iff a ⊔ b ≡ b.
+    assert a.flows_to(b) == equivalent(a.join(b), b)
+
+
+@given(labels, labels)
+def test_order_agrees_with_meet(a, b):
+    # a ⊑ b iff a ⊓ b ≡ a.
+    assert a.flows_to(b) == equivalent(a.meet(b), a)
+
+
+@given(labels)
+def test_bottom_and_top_bound_everything(a):
+    bottom = Label.constant()
+    top = Label(ConfLabel.top(), IntegLabel.untrusted())
+    assert bottom.flows_to(a)
+    assert a.flows_to(top)
+
+
+@given(labels, labels)
+def test_duality_of_projections(a, b):
+    # If a ⊑ b then conf gets more restrictive and integ less trusted.
+    if a.flows_to(b):
+        assert a.conf.flows_to(b.conf)
+        assert a.integ.flows_to(b.integ)
+
+
+@given(labels)
+def test_string_round_trip(a):
+    """str(label) parses back to an equal label (when representable —
+    the conf-top marker is internal and never printed from source)."""
+    from repro.labels import parse_label
+
+    if a.conf.is_top:
+        return
+    assert parse_label(str(a)) == a

@@ -1,0 +1,220 @@
+"""Tests for the decentralized label model: ordering, join, meet, duality."""
+
+import pytest
+
+from repro.labels import (
+    ActsForHierarchy,
+    C,
+    ConfLabel,
+    ConfPolicy,
+    I,
+    IntegLabel,
+    Label,
+    join_all,
+    meet_all,
+    parse_label,
+    principals,
+)
+
+ALICE, BOB, CAROL, R1, R2, R3, O1, O2 = principals(
+    "Alice", "Bob", "Carol", "r1", "r2", "r3", "o1", "o2"
+)
+
+
+def lab(spec):
+    return parse_label(spec)
+
+
+class TestConfPolicy:
+    def test_effective_readers_include_owner(self):
+        policy = ConfPolicy(ALICE, [BOB])
+        assert policy.effective_readers() == frozenset({ALICE, BOB})
+
+    def test_effective_readers_closed_under_acts_for(self):
+        hierarchy = ActsForHierarchy([(CAROL, BOB)])
+        policy = ConfPolicy(ALICE, [BOB])
+        assert CAROL in policy.effective_readers(hierarchy)
+
+    def test_covers_fewer_readers(self):
+        tight = ConfPolicy(ALICE, [])
+        loose = ConfPolicy(ALICE, [BOB])
+        assert tight.covers(loose)
+        assert not loose.covers(tight)
+
+    def test_covers_requires_owner_acts_for(self):
+        assert not ConfPolicy(BOB, []).covers(ConfPolicy(ALICE, []))
+
+    def test_covers_with_owner_delegation(self):
+        hierarchy = ActsForHierarchy([(BOB, ALICE)])
+        # Bob acts for Alice, so Bob's policy can cover Alice's (same readers).
+        assert ConfPolicy(BOB, []).covers(ConfPolicy(ALICE, [BOB]), hierarchy)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            ConfPolicy(ALICE, []).owner = BOB
+
+    def test_str_formats(self):
+        assert str(ConfPolicy(ALICE, [])) == "Alice:"
+        assert str(ConfPolicy(ALICE, [BOB])) == "Alice: Bob"
+
+
+class TestConfOrdering:
+    def test_paper_example_alice_r_flows_to_alice(self):
+        # {o:r} ⊑ {o:} from Section 2.1.
+        assert lab("{Alice: Bob}").conf.flows_to(lab("{Alice:}").conf)
+
+    def test_not_reverse(self):
+        assert not lab("{Alice:}").conf.flows_to(lab("{Alice: Bob}").conf)
+
+    def test_adding_owner_is_more_restrictive(self):
+        assert lab("{o1: r1}").conf.flows_to(lab("{o1: r1; o2: r1}").conf)
+
+    def test_dropping_owner_is_declassification(self):
+        assert not lab("{o1:; o2:}").conf.flows_to(lab("{o1:}").conf)
+
+    def test_public_flows_anywhere(self):
+        assert ConfLabel.public().flows_to(lab("{Alice:}").conf)
+
+    def test_nothing_flows_from_top_but_into_top(self):
+        top = ConfLabel.top()
+        assert lab("{Alice:}").conf.flows_to(top)
+        assert not top.flows_to(lab("{Alice:}").conf)
+        assert top.flows_to(top)
+
+    def test_owner_is_implicit_reader(self):
+        # {Alice: Alice} and {Alice:} are equivalent.
+        a = lab("{Alice: Alice}").conf
+        b = lab("{Alice:}").conf
+        assert a.flows_to(b) and b.flows_to(a)
+
+    def test_incomparable_owners(self):
+        a = lab("{Alice:}").conf
+        b = lab("{Bob:}").conf
+        assert not a.flows_to(b)
+        assert not b.flows_to(a)
+
+
+class TestConfJoinMeet:
+    def test_join_unions_policies(self):
+        joined = lab("{o1: r1, r2}").conf.join(lab("{o2: r1, r3}").conf)
+        assert joined == lab("{o1: r1, r2; o2: r1, r3}").conf
+
+    def test_join_same_owner_intersects_readers(self):
+        joined = lab("{o1: r1, r2}").conf.join(lab("{o1: r2, r3}").conf)
+        assert joined == lab("{o1: r2}").conf
+
+    def test_meet_keeps_shared_owners_with_union_readers(self):
+        met = lab("{o1: r1; o2: r1}").conf.meet(lab("{o1: r2}").conf)
+        assert met == lab("{o1: r1, r2}").conf
+
+    def test_meet_with_public_is_public(self):
+        assert lab("{Alice:}").conf.meet(ConfLabel.public()).is_public
+
+    def test_join_with_top_is_top(self):
+        assert lab("{Alice:}").conf.join(ConfLabel.top()).is_top
+
+    def test_meet_with_top_is_identity(self):
+        c = lab("{Alice: Bob}").conf
+        assert c.meet(ConfLabel.top()) == c
+
+    def test_effective_readers_intersection(self):
+        # From Section 2.1: {o1:r1,r2; o2:r1,r3} is readable only by r1.
+        conf = lab("{o1: r1, r2; o2: r1, r3}").conf
+        universe = [O1, O2, R1, R2, R3]
+        assert conf.effective_readers(universe) == frozenset({R1})
+
+
+class TestIntegOrdering:
+    def test_more_trust_flows_to_less_trust(self):
+        assert lab("{?: Alice, Bob}").integ.flows_to(lab("{?: Alice}").integ)
+        assert lab("{?: Alice}").integ.flows_to(lab("{?:}").integ)
+
+    def test_less_trust_does_not_flow_up(self):
+        assert not lab("{?: Alice}").integ.flows_to(lab("{?: Alice, Bob}").integ)
+
+    def test_paper_example_bob_not_below_alice(self):
+        # {?:Bob} ⋢ {?:Alice} (Section 5.4).
+        assert not lab("{?: Bob}").integ.flows_to(lab("{?: Alice}").integ)
+
+    def test_bottom_flows_everywhere(self):
+        assert IntegLabel.bottom().flows_to(lab("{?: Alice, Bob}").integ)
+
+    def test_nothing_nontrivial_flows_to_bottom(self):
+        assert not lab("{?: Alice}").integ.flows_to(IntegLabel.bottom())
+        assert IntegLabel.bottom().flows_to(IntegLabel.bottom())
+
+    def test_trusted_by_with_acts_for(self):
+        hierarchy = ActsForHierarchy([(ALICE, BOB)])
+        # Alice acts for Bob; Alice's trust witnesses Bob's.
+        assert lab("{?: Alice}").integ.trusted_by(BOB, hierarchy)
+        assert not lab("{?: Alice}").integ.trusted_by(BOB)
+
+
+class TestIntegJoinMeet:
+    def test_join_intersects_trust(self):
+        joined = lab("{?: Alice, Bob}").integ.join(lab("{?: Bob, Carol}").integ)
+        assert joined == lab("{?: Bob}").integ
+
+    def test_meet_unions_trust(self):
+        met = lab("{?: Alice}").integ.meet(lab("{?: Bob}").integ)
+        assert met == lab("{?: Alice, Bob}").integ
+
+    def test_join_with_bottom_is_identity(self):
+        i = lab("{?: Alice}").integ
+        assert IntegLabel.bottom().join(i) == i
+
+    def test_meet_with_bottom_is_bottom(self):
+        assert lab("{?: Alice}").integ.meet(IntegLabel.bottom()).is_bottom
+
+
+class TestFullLabel:
+    def test_flows_to_requires_both_parts(self):
+        low = lab("{Alice: Bob; ?: Alice}")
+        high_conf = lab("{Alice:; ?: Alice}")
+        assert low.flows_to(high_conf)
+        # Dropping integrity is also a restriction increase.
+        assert low.flows_to(lab("{Alice: Bob}"))
+        assert not lab("{Alice: Bob}").flows_to(low)
+
+    def test_sum_label_example(self):
+        # x + y has label L1 ⊔ L2 (Section 2.1).
+        x = lab("{o1: r1, r2}")
+        y = lab("{o2: r1, r3}")
+        assert x.join(y) == lab("{o1: r1, r2; o2: r1, r3}")
+
+    def test_constant_is_bottom(self):
+        constant = Label.constant()
+        for spec in ["{}", "{Alice:}", "{?: Alice}", "{Alice:; ?: Alice}"]:
+            assert constant.flows_to(lab(spec))
+
+    def test_join_all_and_meet_all(self):
+        specs = ["{Alice:; ?: Alice}", "{Bob:; ?: Alice, Bob}"]
+        labels = [lab(s) for s in specs]
+        assert join_all(labels) == lab("{Alice:; Bob:; ?: Alice}")
+        assert meet_all(labels) == lab("{?: Alice, Bob}")
+
+    def test_join_all_empty_is_constant(self):
+        assert join_all([]) == Label.constant()
+
+    def test_projections(self):
+        label = lab("{Alice: Bob; ?: Alice}")
+        assert C(label) == lab("{Alice: Bob}").conf
+        assert I(label) == lab("{?: Alice}").integ
+
+    def test_with_conf_and_with_integ(self):
+        label = lab("{Alice:; ?: Alice}")
+        relabeled = label.with_conf(lab("{Bob:}").conf)
+        assert relabeled == lab("{Bob:; ?: Alice}")
+        endorsed = label.with_integ(lab("{?: Alice, Bob}").integ)
+        assert endorsed == lab("{Alice:; ?: Alice, Bob}")
+
+    def test_str_round_trip(self):
+        label = lab("{Alice: Bob; ?: Alice}")
+        assert parse_label(str(label)) == label
+
+    def test_hashable(self):
+        assert len({lab("{Alice:}"), lab("{Alice:}"), lab("{Bob:}")}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            lab("{Alice:}").conf = ConfLabel.public()

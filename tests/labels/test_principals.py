@@ -1,0 +1,96 @@
+"""Tests for principals and the acts-for hierarchy."""
+
+import pytest
+
+from repro.labels import ActsForHierarchy, Principal, principals
+
+
+class TestPrincipal:
+    def test_interning_same_name_is_same_object(self):
+        assert Principal("Alice") is Principal("Alice")
+
+    def test_distinct_names_are_distinct(self):
+        assert Principal("Alice") != Principal("Bob")
+
+    def test_str_is_name(self):
+        assert str(Principal("Alice")) == "Alice"
+
+    def test_repr_round_trips_name(self):
+        assert "Alice" in repr(Principal("Alice"))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Principal("Alice").name = "Eve"
+
+    def test_invalid_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Principal("")
+
+    def test_invalid_spacey_name_rejected(self):
+        with pytest.raises(ValueError):
+            Principal("not a name")
+
+    def test_underscore_names_allowed(self):
+        assert Principal("tax_preparer").name == "tax_preparer"
+
+    def test_principals_helper(self):
+        alice, bob = principals("Alice", "Bob")
+        assert alice is Principal("Alice")
+        assert bob is Principal("Bob")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Principal("Alice"), Principal("Alice"), Principal("Bob")}) == 2
+
+    def test_sort_order_is_by_name(self):
+        ps = sorted([Principal("Carol"), Principal("Alice"), Principal("Bob")])
+        assert [p.name for p in ps] == ["Alice", "Bob", "Carol"]
+
+
+class TestActsForHierarchy:
+    def test_reflexive(self):
+        hierarchy = ActsForHierarchy()
+        alice = Principal("Alice")
+        assert hierarchy.acts_for(alice, alice)
+
+    def test_direct_edge(self):
+        alice, bob = principals("Alice", "Bob")
+        hierarchy = ActsForHierarchy([(alice, bob)])
+        assert hierarchy.acts_for(alice, bob)
+        assert not hierarchy.acts_for(bob, alice)
+
+    def test_transitive(self):
+        a, b, c = principals("A", "B", "C")
+        hierarchy = ActsForHierarchy([(a, b), (b, c)])
+        assert hierarchy.acts_for(a, c)
+
+    def test_not_symmetric(self):
+        a, b, c = principals("A", "B", "C")
+        hierarchy = ActsForHierarchy([(a, b), (b, c)])
+        assert not hierarchy.acts_for(c, a)
+
+    def test_superiors_of_includes_self(self):
+        a, b = principals("A", "B")
+        hierarchy = ActsForHierarchy([(a, b)])
+        assert hierarchy.superiors_of(b) == frozenset({a, b})
+
+    def test_superiors_of_transitive_closure(self):
+        a, b, c = principals("A", "B", "C")
+        hierarchy = ActsForHierarchy([(a, b), (b, c)])
+        assert hierarchy.superiors_of(c) == frozenset({a, b, c})
+
+    def test_cycle_is_tolerated(self):
+        a, b = principals("A", "B")
+        hierarchy = ActsForHierarchy([(a, b), (b, a)])
+        assert hierarchy.acts_for(a, b)
+        assert hierarchy.acts_for(b, a)
+        assert hierarchy.superiors_of(a) == frozenset({a, b})
+
+    def test_iteration_lists_edges(self):
+        a, b = principals("A", "B")
+        hierarchy = ActsForHierarchy([(a, b)])
+        assert list(hierarchy) == [(a, b)]
+
+    def test_empty_hierarchy_only_reflexive(self):
+        hierarchy = ActsForHierarchy()
+        a, b = principals("A", "B")
+        assert not hierarchy.acts_for(a, b)

@@ -1,0 +1,266 @@
+"""Tests for integer arrays (the paper's footnote 3: the runtime
+"provides direct support for array manipulation")."""
+
+import pytest
+
+from repro.lang import (
+    SecurityError,
+    TypeError_,
+    check_source,
+    parse_program,
+    ast,
+)
+from repro.runtime import run_single_host, run_split_program
+from repro.splitter import split_source
+
+from tests.programs import config_abt, single_host_config
+
+
+class TestParsing:
+    def test_array_type(self):
+        program = parse_program(
+            "class C { void m() { int{Alice:}[] xs = new int[3]; } }"
+        )
+        decl = program.classes[0].methods[0].body.stmts[0]
+        assert decl.type.base == "int[]"
+
+    def test_new_array(self):
+        program = parse_program(
+            "class C { void m() { int[] xs = new int[7]; } }"
+        )
+        decl = program.classes[0].methods[0].body.stmts[0]
+        assert isinstance(decl.init, ast.NewArray)
+
+    def test_element_access_and_assignment(self):
+        program = parse_program(
+            """
+            class C { void m() {
+              int[] xs = new int[3];
+              xs[0] = 1;
+              int y = xs[0];
+            } }
+            """
+        )
+        assign = program.classes[0].methods[0].body.stmts[1]
+        assert isinstance(assign.target, ast.ArrayAccess)
+
+    def test_length(self):
+        program = parse_program(
+            "class C { void m() { int[] xs = new int[3]; int n = xs.length; } }"
+        )
+        decl = program.classes[0].methods[0].body.stmts[1]
+        assert isinstance(decl.init, ast.ArrayLength)
+
+
+class TestChecking:
+    def test_well_labeled_array_checks(self):
+        check_source(
+            """
+            class C { void m{?:Alice}() {
+              int{Alice:; ?:Alice}[] xs = new int[4];
+              xs[0] = 5;
+              int{Alice:} v = xs[0];
+            } }
+            """
+        )
+
+    def test_secret_value_into_public_array_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C { void m{?:Alice}() {
+                  int{?:Alice}[] xs = new int[4];
+                  int{Alice:; ?:Alice} s = 1;
+                  xs[0] = s;
+                } }
+                """
+            )
+
+    def test_secret_index_into_public_array_rejected(self):
+        """Section 4.2 for arrays: the element host observes the index."""
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C { void m{?:Alice}() {
+                  int{?:Alice}[] xs = new int[4];
+                  int{Alice:; ?:Alice} s = 1;
+                  int{Alice:} v = xs[s];
+                } }
+                """
+            )
+
+    def test_secret_pc_read_of_public_array_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C { void m{?:Alice}() {
+                  int{?:Alice}[] xs = new int[4];
+                  boolean{Alice:} g = true;
+                  int{Alice:} v = 0;
+                  if (g) v = xs[0];
+                } }
+                """
+            )
+
+    def test_element_read_label_joins_index(self):
+        # Reading at a secret index gives a secret result — flowing it
+        # into a public variable is rejected.
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C { void m{?:Alice}() {
+                  int{Alice:; ?:Alice}[] xs = new int[4];
+                  int{Alice:; ?:Alice} s = 1;
+                  int{?:Alice} v = xs[s];
+                } }
+                """
+            )
+
+    def test_array_field_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source("class C { int{Alice:}[] xs; }")
+
+    def test_array_param_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                "class C { void m(int{Alice:}[] xs) { return; } }"
+            )
+
+    def test_array_return_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                "class C { int{Alice:}[] m() { return null; } }"
+            )
+
+    def test_array_aliasing_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                """
+                class C { void m() {
+                  int{Alice:}[] a = new int[3];
+                  int{Alice:}[] b = a;
+                } }
+                """
+            )
+
+    def test_reassignment_with_fresh_array_ok(self):
+        check_source(
+            """
+            class C { void m() {
+              int{Alice:}[] a = new int[3];
+              a = new int[5];
+            } }
+            """
+        )
+
+    def test_non_int_array_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                "class Node { int v; } class C { void m() { Node[] xs = null; } }"
+            )
+
+    def test_boolean_index_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                """
+                class C { void m() {
+                  int[] xs = new int[3];
+                  int v = xs[true];
+                } }
+                """
+            )
+
+
+SIEVE = """
+class Sieve {
+  int{Alice:; ?:Alice} primeCount;
+  void main{?:Alice}() {
+    int{Alice:; ?:Alice}[] composite = new int[30];
+    int{Alice:; ?:Alice} i = 2;
+    while (i < 30) {
+      if (composite[i] == 0) {
+        int{Alice:; ?:Alice} j = i + i;
+        while (j < 30) {
+          composite[j] = 1;
+          j = j + i;
+        }
+      }
+      i = i + 1;
+    }
+    int{Alice:; ?:Alice} count = 0;
+    i = 2;
+    while (i < 30) {
+      if (composite[i] == 0) count = count + 1;
+      i = i + 1;
+    }
+    primeCount = count;
+  }
+}
+"""
+
+
+class TestExecution:
+    def test_sieve_of_eratosthenes(self):
+        result = split_source(SIEVE, config_abt())
+        outcome = run_split_program(result.split)
+        oracle = run_single_host(SIEVE)
+        # Primes below 30: 2,3,5,7,11,13,17,19,23,29.
+        assert outcome.field_value("Sieve", "primeCount") == 10
+        assert oracle.fields[("Sieve", "primeCount", None)] == 10
+
+    def test_cross_host_element_access(self):
+        """An array allocated on Alice's host read from the shared host
+        goes through remote element reads (counted like getField)."""
+        source = """
+        class X {
+          int{Alice: Bob} joint;
+          void main{?:Alice}() {
+            int{Alice: Bob; ?:Alice}[] xs = new int[3];
+            xs[0] = 7;
+            joint = xs[0] + 0;
+          }
+        }
+        """
+        result = split_source(source, config_abt())
+        outcome = run_split_program(result.split)
+        assert outcome.field_value("X", "joint") == 7
+
+    def test_out_of_bounds_raises(self):
+        source = """
+        class B {
+          void main{?:Alice}() {
+            int{?:Alice}[] xs = new int[2];
+            xs[5] = 1;
+          }
+        }
+        """
+        result = split_source(source, single_host_config())
+        with pytest.raises(RuntimeError):
+            run_split_program(result.split)
+
+    def test_null_array_access_raises(self):
+        source = """
+        class N {
+          void main{?:Alice}() {
+            int{?:Alice}[] xs = null;
+            xs[0] = 1;
+          }
+        }
+        """
+        result = split_source(source, single_host_config())
+        with pytest.raises(RuntimeError):
+            run_split_program(result.split)
+
+    def test_length_is_local_information(self):
+        source = """
+        class L {
+          int{?:Alice} n;
+          void main{?:Alice}() {
+            int{?:Alice}[] xs = new int[11];
+            n = xs.length;
+          }
+        }
+        """
+        result = split_source(source, single_host_config())
+        outcome = run_split_program(result.split)
+        assert outcome.field_value("L", "n") == 11

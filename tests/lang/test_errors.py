@@ -1,0 +1,131 @@
+"""Tests for diagnostics: every front-end error carries a position and a
+message that names the failing construct — the paper leans on this
+("the error pinpoints the read channel introduced")."""
+
+import pytest
+
+from repro.lang import (
+    JifError,
+    LexError,
+    ParseError,
+    SecurityError,
+    check_source,
+    parse_program,
+    tokenize,
+)
+
+
+def error_of(exc_type, action):
+    with pytest.raises(exc_type) as info:
+        action()
+    return info.value
+
+
+class TestPositions:
+    def test_lex_error_position(self):
+        error = error_of(LexError, lambda: tokenize("a\n  @"))
+        assert error.pos.line == 2
+        assert error.pos.column == 3
+
+    def test_parse_error_position(self):
+        error = error_of(
+            ParseError, lambda: parse_program("class C {\n  int 5;\n}")
+        )
+        assert error.pos.line == 2
+
+    def test_security_error_position(self):
+        source = (
+            "class C { void m() {\n"
+            "  int{Alice:} x = 1;\n"
+            "  int{} y = x;\n"
+            "} }"
+        )
+        error = error_of(SecurityError, lambda: check_source(source))
+        assert error.pos.line == 3
+
+    def test_error_str_contains_position(self):
+        error = error_of(LexError, lambda: tokenize("@"))
+        assert "1:1" in str(error)
+
+
+class TestMessages:
+    def test_flow_error_names_labels(self):
+        source = "class C { void m() { int{Alice:} x = 1; int{} y = x; } }"
+        error = error_of(SecurityError, lambda: check_source(source))
+        assert "Alice" in str(error)
+
+    def test_authority_error_names_principals(self):
+        source = (
+            "class C { void m() {"
+            " int{Alice:} x = 1; int y = declassify(x, {});"
+            " } }"
+        )
+        error = error_of(JifError, lambda: check_source(source))
+        assert "Alice" in str(error)
+        assert "authority" in str(error)
+
+    def test_pc_integrity_error_cites_section(self):
+        source = """
+        class C authority(Alice) {
+          void m() where authority(Alice) {
+            boolean{?:} u = true;
+            int{Alice:} x = 1;
+            int y = 0;
+            if (u) y = declassify(x, {});
+          }
+        }
+        """
+        error = error_of(SecurityError, lambda: check_source(source))
+        assert "4.3" in str(error)
+
+    def test_unknown_variable_named(self):
+        error = error_of(
+            JifError,
+            lambda: check_source("class C { void m() { ghost = 1; } }"),
+        )
+        assert "ghost" in str(error)
+
+    def test_begin_label_violation_explains(self):
+        source = """
+        class C {
+          void callee{?:Alice}() { return; }
+          void m() {
+            boolean{?:} u = true;
+            if (u) callee();
+          }
+        }
+        """
+        error = error_of(SecurityError, lambda: check_source(source))
+        assert "begin label" in str(error)
+
+
+class TestSplitterDiagnostics:
+    def test_field_failure_lists_every_host(self):
+        from repro.splitter import SplitError, split_source
+        from tests.programs import config_ab
+
+        source = """
+        class C {
+          int{Carol:} secret;
+          void main{?:Alice}() { secret = 1; }
+        }
+        """
+        with pytest.raises(SplitError) as info:
+            split_source(source, config_ab())
+        message = str(info.value)
+        assert "host A" in message and "host B" in message
+
+    def test_statement_failure_shows_l_in(self):
+        from repro.splitter import SplitError, split_source
+        from tests.programs import config_ab
+
+        source = """
+        class C {
+          int{Alice:} a = 1;
+          int{Bob:} b = 2;
+          void main{?:Alice}() { int s = a + b; }
+        }
+        """
+        with pytest.raises(SplitError) as info:
+            split_source(source, config_ab())
+        assert "L_in" in str(info.value)

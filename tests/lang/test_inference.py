@@ -1,0 +1,181 @@
+"""Tests for label inference: omitted annotations are filled in by the
+monotone fixpoint (Section 2.1: "the label component is automatically
+inferred")."""
+
+import pytest
+
+from repro.labels import IntegLabel, Label, Principal, parse_label
+from repro.lang import SecurityError, check_source
+
+
+def var_label(checked, cls, method, var):
+    return checked.var_labels[(cls, method, var)]
+
+
+class TestLocalInference:
+    def test_local_gets_rhs_label(self):
+        checked = check_source(
+            "class C { void m() { int{Alice:} x = 1; int y = x; } }"
+        )
+        assert var_label(checked, "C", "m", "y").conf == parse_label(
+            "{Alice:}"
+        ).conf
+
+    def test_local_joins_multiple_assignments(self):
+        checked = check_source(
+            """
+            class C { void m() {
+              int{Alice:} a = 1; int{Bob:} b = 2;
+              int y;
+              y = a; y = b;
+            } }
+            """
+        )
+        label = var_label(checked, "C", "m", "y")
+        assert label.conf == parse_label("{Alice:; Bob:}").conf
+
+    def test_unassigned_local_is_bottom(self):
+        checked = check_source("class C { void m() { int y; } }")
+        assert var_label(checked, "C", "m", "y") == Label.constant()
+
+    def test_chained_inference_propagates(self):
+        checked = check_source(
+            """
+            class C { void m() {
+              int{Alice:} a = 1;
+              int x = a; int y = x; int z = y;
+            } }
+            """
+        )
+        assert var_label(checked, "C", "m", "z").conf == parse_label(
+            "{Alice:}"
+        ).conf
+
+    def test_mutual_assignment_converges(self):
+        checked = check_source(
+            """
+            class C { void m() {
+              int{Alice:} seed = 1;
+              int x = 0; int y = 0;
+              x = y; y = x; x = seed;
+              y = x;
+            } }
+            """
+        )
+        assert var_label(checked, "C", "m", "y").conf == parse_label(
+            "{Alice:}"
+        ).conf
+
+    def test_pc_flows_into_inferred_locals(self):
+        checked = check_source(
+            """
+            class C { void m() {
+              boolean{Bob:} g = true;
+              int y = 0;
+              if (g) y = 1;
+            } }
+            """
+        )
+        assert var_label(checked, "C", "m", "y").conf == parse_label(
+            "{Bob:}"
+        ).conf
+
+    def test_integrity_inferred_from_sources(self):
+        checked = check_source(
+            "class C { void m() { int{?:Alice} a = 1; int y = a; } }"
+        )
+        assert var_label(checked, "C", "m", "y").integ == IntegLabel(
+            [Principal("Alice")]
+        )
+
+    def test_constant_only_local_keeps_full_integrity(self):
+        checked = check_source("class C { void m() { int y = 1; } }")
+        assert var_label(checked, "C", "m", "y").integ.is_bottom
+
+
+class TestFieldInference:
+    def test_unlabeled_field_infers_from_writes(self):
+        checked = check_source(
+            """
+            class C {
+              int cache;
+              void m() { int{Alice:} a = 1; cache = a; }
+            }
+            """
+        )
+        assert checked.field_info("C", "cache").label.conf == parse_label(
+            "{Alice:}"
+        ).conf
+
+    def test_inferred_field_then_constrains_reads(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C {
+                  int cache;
+                  void m() {
+                    int{Alice:} a = 1;
+                    cache = a;
+                    int{} leak = cache;
+                  }
+                }
+                """
+            )
+
+
+class TestSignatureInference:
+    def test_return_label_inferred(self):
+        checked = check_source(
+            "class C { int get() { int{Bob:} b = 1; return b; } }"
+        )
+        method = checked.method_info("C", "get")
+        assert method.return_label.conf == parse_label("{Bob:}").conf
+
+    def test_param_label_inferred_from_all_call_sites(self):
+        checked = check_source(
+            """
+            class C {
+              void sink(int p) { return; }
+              void m() {
+                int{Alice:} a = 1; int{Bob:} b = 2;
+                sink(a); sink(b);
+              }
+            }
+            """
+        )
+        _, _, label = checked.method_info("C", "sink").params[0]
+        assert label.conf == parse_label("{Alice:; Bob:}").conf
+
+    def test_begin_label_inferred_from_callers(self):
+        checked = check_source(
+            """
+            class C {
+              void callee() { return; }
+              void m() {
+                boolean{Alice:} g = true;
+                if (g) callee();
+              }
+            }
+            """
+        )
+        begin = checked.method_info("C", "callee").begin_label
+        assert begin.conf == parse_label("{Alice:}").conf
+
+    def test_inference_interacts_with_checking(self):
+        # The inferred return label of get() must make the downstream
+        # explicit annotation fail.
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C {
+                  int get() { int{Alice:} a = 1; return a; }
+                  void m() { int{} y = get(); }
+                }
+                """
+            )
+
+    def test_uncalled_method_begin_is_bottom(self):
+        checked = check_source(
+            "class C { void lonely() { return; } void main() { return; } }"
+        )
+        assert checked.method_info("C", "lonely").begin_label == Label.constant()

@@ -1,0 +1,73 @@
+"""Tests for the mini-Jif lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "<eof>"
+
+    def test_identifier(self):
+        assert kinds("isAccessed") == ["ident"]
+
+    def test_keyword(self):
+        assert kinds("class") == ["keyword"]
+
+    def test_all_keywords_recognized(self):
+        for word in ("if", "else", "while", "return", "declassify", "endorse",
+                     "authority", "int", "boolean", "true", "false", "new",
+                     "null", "this", "void", "where", "for"):
+            assert kinds(word) == ["keyword"], word
+
+    def test_integer(self):
+        tokens = tokenize("12345")
+        assert tokens[0].kind == "int"
+        assert tokens[0].text == "12345"
+
+    def test_operators_maximal_munch(self):
+        assert kinds("==") == ["=="]
+        assert kinds("= =") == ["=", "="]
+        assert kinds("<=") == ["<="]
+        assert kinds("&&") == ["&&"]
+        assert kinds("!=!") == ["!=", "!"]
+
+    def test_label_tokens(self):
+        assert kinds("{Alice:; ?:Alice}") == [
+            "{", "ident", ":", ";", "?", ":", "ident", "}",
+        ]
+
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_positions_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].pos.line, tokens[0].pos.column) == (1, 1)
+        assert (tokens[1].pos.line, tokens[1].pos.column) == (2, 3)
+
+    def test_figure2_signature_tokenizes(self):
+        source = "int{Bob:} transfer{?:Alice} (int{Bob:} n)"
+        assert "ident" in kinds(source)
+        assert kinds(source).count("{") == 3

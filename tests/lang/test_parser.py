@@ -1,0 +1,254 @@
+"""Tests for the mini-Jif parser."""
+
+import pytest
+
+from repro.labels import Label, Principal
+from repro.lang import ParseError, ast, parse_expr, parse_program, parse_stmt
+
+
+class TestExpressions:
+    def test_int_literal(self):
+        expr = parse_expr("42")
+        assert isinstance(expr, ast.IntLit) and expr.value == 42
+
+    def test_bool_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+
+    def test_null(self):
+        assert isinstance(parse_expr("null"), ast.NullLit)
+
+    def test_variable(self):
+        expr = parse_expr("count")
+        assert isinstance(expr, ast.Var) and expr.name == "count"
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        expr = parse_expr("a < b && c == d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+        assert expr.right.op == "=="
+
+    def test_precedence_and_over_or(self):
+        expr = parse_expr("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_not(self):
+        expr = parse_expr("!done")
+        assert isinstance(expr, ast.Unary) and expr.op == "!"
+
+    def test_unary_minus_nested(self):
+        expr = parse_expr("--x")
+        assert expr.op == "-" and expr.operand.op == "-"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+
+    def test_field_access_chain(self):
+        expr = parse_expr("node.next.val")
+        assert isinstance(expr, ast.FieldAccess) and expr.field == "val"
+        assert isinstance(expr.target, ast.FieldAccess)
+        assert expr.target.field == "next"
+
+    def test_this_field(self):
+        expr = parse_expr("this.m1")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.target is None and expr.field == "m1"
+
+    def test_call_with_args(self):
+        expr = parse_expr("transfer(n, 2)")
+        assert isinstance(expr, ast.Call)
+        assert expr.method == "transfer" and len(expr.args) == 2
+
+    def test_new(self):
+        expr = parse_expr("new Node()")
+        assert isinstance(expr, ast.New) and expr.class_name == "Node"
+
+    def test_declassify(self):
+        expr = parse_expr("declassify(tmp1, {Bob:})")
+        assert isinstance(expr, ast.Declassify)
+        assert expr.label == Label.of("{Bob:}")
+
+    def test_endorse(self):
+        expr = parse_expr("endorse(n, {?:Alice})")
+        assert isinstance(expr, ast.Endorse)
+        assert expr.label == Label.of("{?:Alice}")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("+")
+
+
+class TestStatements:
+    def test_var_decl_with_label(self):
+        stmt = parse_stmt("int{Alice:} x = 3;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert stmt.type.base == "int"
+        assert stmt.type.label == Label.of("{Alice:}")
+
+    def test_var_decl_without_label(self):
+        stmt = parse_stmt("int x;")
+        assert stmt.type.label is None and stmt.init is None
+
+    def test_class_typed_decl(self):
+        stmt = parse_stmt("Node n = new Node();")
+        assert isinstance(stmt, ast.VarDecl) and stmt.type.base == "Node"
+
+    def test_labeled_class_typed_decl(self):
+        stmt = parse_stmt("Node{Alice:} n = null;")
+        assert stmt.type.label == Label.of("{Alice:}")
+
+    def test_assignment(self):
+        stmt = parse_stmt("x = x + 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Var)
+
+    def test_field_assignment(self):
+        stmt = parse_stmt("node.val = 3;")
+        assert isinstance(stmt.target, ast.FieldAccess)
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("3 = x;")
+
+    def test_if_else(self):
+        stmt = parse_stmt("if (x == 1) y = 1; else y = 2;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is not None
+
+    def test_if_without_else(self):
+        stmt = parse_stmt("if (ok) y = 1;")
+        assert stmt.else_branch is None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.else_branch is None
+        assert stmt.then_branch.else_branch is not None
+
+    def test_while(self):
+        stmt = parse_stmt("while (i < 10) i = i + 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_desugars_to_while(self):
+        stmt = parse_stmt("for (int i = 0; i < 10; i = i + 1) x = x + i;")
+        assert isinstance(stmt, ast.Block)
+        assert isinstance(stmt.stmts[0], ast.VarDecl)
+        assert isinstance(stmt.stmts[1], ast.While)
+
+    def test_return_value(self):
+        stmt = parse_stmt("return x + 1;")
+        assert isinstance(stmt, ast.Return) and stmt.value is not None
+
+    def test_return_void(self):
+        assert parse_stmt("return;").value is None
+
+    def test_block(self):
+        stmt = parse_stmt("{ x = 1; y = 2; }")
+        assert isinstance(stmt, ast.Block) and len(stmt.stmts) == 2
+
+    def test_expr_statement(self):
+        stmt = parse_stmt("transfer(1);")
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+
+class TestProgramStructure:
+    def test_figure2_program_parses(self):
+        program = parse_program(FIGURE2)
+        cls = program.class_named("OTExample")
+        assert cls is not None
+        assert cls.authority == [Principal("Alice")]
+        assert [f.name for f in cls.fields] == ["m1", "m2", "isAccessed"]
+        transfer = cls.method("transfer")
+        assert transfer.begin_label == Label.of("{?:Alice}")
+        assert transfer.authority == [Principal("Alice")]
+        assert transfer.return_type.label == Label.of("{Bob:}")
+        assert transfer.params[0].name == "n"
+
+    def test_method_without_labels(self):
+        program = parse_program("class C { int f; int get() { return f; } }")
+        method = program.class_named("C").method("get")
+        assert method.begin_label is None
+        assert method.return_type.label is None
+
+    def test_method_end_label(self):
+        program = parse_program(
+            "class C { void m() : {?:Alice} { return; } }"
+        )
+        assert program.class_named("C").method("m").end_label == Label.of(
+            "{?:Alice}"
+        )
+
+    def test_field_with_initializer(self):
+        program = parse_program("class C { int{Alice:} f = 7; }")
+        field = program.class_named("C").field("f")
+        assert isinstance(field.init, ast.IntLit)
+
+    def test_multiple_classes(self):
+        program = parse_program(
+            "class A { int x; } class B { boolean y; }"
+        )
+        assert len(program.classes) == 2
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_authority_clause_with_multiple_principals(self):
+        program = parse_program(
+            "class C authority(Alice, Bob) { void m() { return; } }"
+        )
+        assert len(program.class_named("C").authority) == 2
+
+    def test_where_keyword_optional(self):
+        with_where = parse_program(
+            "class C authority(A) { void m() where authority(A) { return; } }"
+        )
+        without = parse_program(
+            "class C authority(A) { void m() authority(A) { return; } }"
+        )
+        assert (
+            with_where.class_named("C").method("m").authority
+            == without.class_named("C").method("m").authority
+        )
+
+    def test_missing_class_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class C int x;")
+
+
+FIGURE2 = """
+class OTExample authority(Alice) {
+  int{Alice:; ?:Alice} m1;
+  int{Alice:; ?:Alice} m2;
+  boolean{Alice:; ?:Alice} isAccessed;
+
+  int{Bob:} transfer{?:Alice}(int{Bob:} n) where authority(Alice) {
+    int tmp1 = m1;
+    int tmp2 = m2;
+    if (!isAccessed) {
+      isAccessed = true;
+      if (endorse(n, {?:Alice}) == 1)
+        return declassify(tmp1, {Bob:});
+      else
+        return declassify(tmp2, {Bob:});
+    }
+    else return 0;
+  }
+}
+"""

@@ -1,0 +1,579 @@
+"""Tests for the security type checker: implicit flows, pc labels,
+declassification and endorsement, authority, method bounds."""
+
+import pytest
+
+from repro.labels import IntegLabel, Label, Principal
+from repro.lang import (
+    AuthorityError,
+    SecurityError,
+    TypeError_,
+    check_source,
+)
+
+
+def wrap(body, fields="", authority="", method_extras=""):
+    auth = f"authority({authority})" if authority else ""
+    return f"""
+    class C {auth} {{
+      {fields}
+      void m() {method_extras} {{
+        {body}
+      }}
+    }}
+    """
+
+
+class TestExplicitFlows:
+    def test_public_to_secret_ok(self):
+        check_source(wrap("int{Alice:} x = 1;"))
+
+    def test_secret_to_public_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(wrap("int{Alice:} x = 1; int{} y = x;"))
+
+    def test_secret_to_same_owner_ok(self):
+        check_source(wrap("int{Alice:} x = 1; int{Alice:} y = x;"))
+
+    def test_removing_reader_ok(self):
+        check_source(wrap("int{Alice: Bob} x = 1; int{Alice:} y = x;"))
+
+    def test_adding_reader_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(wrap("int{Alice:} x = 1; int{Alice: Bob} y = x;"))
+
+    def test_join_of_two_owners(self):
+        check_source(
+            wrap(
+                "int{Alice:} x = 1; int{Bob:} y = 2;"
+                "int{Alice:; Bob:} z = x + y;"
+            )
+        )
+
+    def test_join_violation_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap("int{Alice:} x = 1; int{Bob:} y = 2; int{Bob:} z = x + y;")
+            )
+
+    def test_integrity_weakening_ok(self):
+        # Trusted data may flow to less-trusted locations.
+        check_source(
+            wrap(
+                "int{?:Alice, Bob} x = 1; int{?:Alice} y = x;",
+                method_extras="",
+            )
+        )
+
+    def test_integrity_strengthening_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(wrap("int{?:} x = 1; int{?:Alice} y = x;"))
+
+    def test_constant_has_full_integrity(self):
+        check_source(wrap("int{?:Alice, Bob} x = 1;"))
+
+
+class TestImplicitFlows:
+    def test_branch_on_secret_into_public_rejected(self):
+        # The paper's Section 2.3 example: y = x via control flow.
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "boolean{Alice:} x = true; boolean{} y;"
+                    "if (x) y = true; else y = false;"
+                )
+            )
+
+    def test_branch_on_secret_into_secret_ok(self):
+        check_source(
+            wrap(
+                "boolean{Alice:} x = true; boolean{Alice:} y;"
+                "if (x) y = true; else y = false;"
+            )
+        )
+
+    def test_pc_restored_after_branch(self):
+        # Point D in Section 2.3: after the if, pc drops back.
+        check_source(
+            wrap(
+                "boolean{Alice:} x = true; boolean{Alice:} y; boolean{} z;"
+                "if (x) y = true;"
+                "z = false;"
+            )
+        )
+
+    def test_while_guard_taints_body(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "int{Alice:} x = 5; int{} y = 0;"
+                    "while (x > 0) { y = y + 1; x = x - 1; }"
+                )
+            )
+
+    def test_nested_branches_accumulate(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "boolean{Alice:} a = true; boolean{Bob:} b = true;"
+                    "int{Alice:} y;"
+                    "if (a) { if (b) y = 1; }"
+                )
+            )
+
+    def test_branch_taints_integrity_of_writes(self):
+        # Writing a trusted field under an untrusted guard is rejected.
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "boolean{?:} u = true;"
+                    "if (u) t = true;",
+                    fields="boolean{?:Alice} t;",
+                )
+            )
+
+    def test_inferred_local_picks_up_pc(self):
+        checked = check_source(
+            wrap("boolean{Alice:} x = true; int y; if (x) y = 1;")
+        )
+        label = checked.var_labels[("C", "m", "y")]
+        assert label.conf == Label.of("{Alice:}").conf
+
+
+class TestFields:
+    def test_field_read_label(self):
+        checked = check_source(
+            wrap("int y = secret;", fields="int{Alice:} secret;")
+        )
+        assert checked.var_labels[("C", "m", "y")].conf == Label.of(
+            "{Alice:}"
+        ).conf
+
+    def test_field_write_requires_flow(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "int{Alice:} x = 1; pub = x;",
+                    fields="int{} pub;",
+                )
+            )
+
+    def test_field_write_integrity(self):
+        # Figure 2 line 11: writing isAccessed needs Alice's trust in pc.
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "int{?:} u = 1; if (u == 1) t = 2;",
+                    fields="int{?:Alice} t;",
+                )
+            )
+
+    def test_loc_label_tracks_read_pc(self):
+        checked = check_source(
+            wrap(
+                "boolean{Alice:} g = true; int x = 0;"
+                "if (g) x = f;",
+                fields="int{} f;",
+            )
+        )
+        loc = checked.field_info("C", "f").loc_label
+        assert loc == Label.of("{Alice:}").conf
+
+    def test_loc_label_public_outside_branches(self):
+        checked = check_source(wrap("int x = f;", fields="int{} f;"))
+        assert checked.field_info("C", "f").loc_label.is_public
+
+    def test_object_field_access(self):
+        check_source(
+            """
+            class Node { int{Alice:} val; Node{Alice:} next; }
+            class C {
+              void m() {
+                Node{Alice:} n = new Node();
+                n.val = 3;
+                int{Alice:} v = n.val;
+              }
+            }
+            """
+        )
+
+    def test_object_reference_label_taints_read(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class Node { int{} val; }
+                class C {
+                  void m() {
+                    Node{Alice:} n = new Node();
+                    int{} v = n.val;
+                  }
+                }
+                """
+            )
+
+    def test_field_initializer_must_be_literal(self):
+        with pytest.raises(TypeError_):
+            check_source("class C { int f = 1 + 2; }")
+
+
+class TestDeclassify:
+    def test_declassify_with_authority_ok(self):
+        check_source(
+            wrap(
+                "int{Alice:} x = 1; int{} y = declassify(x, {});",
+                authority="Alice",
+                method_extras="where authority(Alice)",
+            )
+        )
+
+    def test_declassify_without_authority_rejected(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                wrap("int{Alice:} x = 1; int{} y = declassify(x, {});")
+            )
+
+    def test_declassify_needs_class_grant(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                wrap(
+                    "int x = 1;",
+                    method_extras="where authority(Alice)",
+                )
+            )
+
+    def test_declassify_absorbs_pc(self):
+        # Declassification launders the implicit flow too — with authority.
+        # The guard must carry Alice's integrity or the Section 4.3 check
+        # I(pc) ⊑ I_P fails.
+        check_source(
+            wrap(
+                "boolean{Alice:; ?:Alice} g = true; int{} y = 0;"
+                "if (g) y = declassify(1, {});",
+                authority="Alice",
+                method_extras="where authority(Alice)",
+            )
+        )
+
+    def test_declassify_other_owner_rejected(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                wrap(
+                    "int{Bob:} x = 1; int{} y = declassify(x, {});",
+                    authority="Alice",
+                    method_extras="where authority(Alice)",
+                )
+            )
+
+    def test_declassify_at_untrusted_point_rejected(self):
+        # Section 4.3: I(pc) ⊑ I_P. Branching on untrusted data first
+        # makes the declassification decision untrustworthy.
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "boolean{?:} u = true; int{Alice:; ?:Alice} x = 1;"
+                    "int{} y = 0;"
+                    "if (u) y = declassify(x, {});",
+                    authority="Alice",
+                    method_extras="{?:Alice} where authority(Alice)".replace(
+                        "{?:Alice} ", ""
+                    ),
+                )
+            )
+
+    def test_declassify_keeps_integrity(self):
+        checked = check_source(
+            wrap(
+                "int{Alice:; ?:Alice} x = 1;"
+                "int{?:Alice} y = declassify(x, {});",
+                authority="Alice",
+                method_extras="where authority(Alice)",
+            )
+        )
+        label = checked.var_labels[("C", "m", "x")]
+        assert label.integ == IntegLabel([Principal("Alice")])
+
+    def test_declassify_may_not_endorse(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "int{Alice:} x = 1; int y = declassify(x, {?:Alice});",
+                    authority="Alice",
+                    method_extras="where authority(Alice)",
+                )
+            )
+
+
+class TestEndorse:
+    def test_endorse_with_authority_ok(self):
+        check_source(
+            wrap(
+                "int{?:} u = 1; int{?:Alice} t = endorse(u, {?:Alice});",
+                authority="Alice",
+                method_extras="where authority(Alice)",
+            )
+        )
+
+    def test_endorse_without_authority_rejected(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                wrap("int{?:} u = 1; int{?:Alice} t = endorse(u, {?:Alice});")
+            )
+
+    def test_endorse_to_universal_trust_rejected(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                wrap(
+                    "int{?:} u = 1; int t = endorse(u, {?: *});",
+                    authority="Alice",
+                    method_extras="where authority(Alice)",
+                )
+            )
+
+    def test_endorse_may_not_declassify(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                wrap(
+                    "int{Alice:} x = 1; int y = endorse(x, {Bob:; ?:Alice});",
+                    authority="Alice",
+                    method_extras="where authority(Alice)",
+                )
+            )
+
+    def test_endorse_keeps_confidentiality(self):
+        checked = check_source(
+            wrap(
+                "int{Bob:} x = 1;"
+                "int{Bob:; ?:Alice} y = endorse(x, {?:Alice});",
+                authority="Alice",
+                method_extras="where authority(Alice)",
+            )
+        )
+        assert checked.var_labels[("C", "m", "y")].conf == Label.of("{Bob:}").conf
+
+
+class TestMethods:
+    def test_begin_label_bounds_caller_pc(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C {
+                  void callee{?:Alice}() { return; }
+                  void m() {
+                    boolean{?:} u = true;
+                    if (u) callee();
+                  }
+                }
+                """
+            )
+
+    def test_begin_label_satisfied(self):
+        check_source(
+            """
+            class C {
+              void callee{?:Alice}() { return; }
+              void m{?:Alice}() { callee(); }
+            }
+            """
+        )
+
+    def test_argument_label_checked(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C {
+                  void callee(int{} p) { return; }
+                  void m() { int{Alice:} x = 1; callee(x); }
+                }
+                """
+            )
+
+    def test_return_label_checked(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C {
+                  int{} get() { int{Alice:} x = 1; return x; }
+                }
+                """
+            )
+
+    def test_return_label_inferred(self):
+        checked = check_source(
+            """
+            class C {
+              int get() { int{Alice:} x = 1; return x; }
+            }
+            """
+        )
+        method = checked.method_info("C", "get")
+        assert method.return_label.conf == Label.of("{Alice:}").conf
+
+    def test_param_label_inferred_from_call_sites(self):
+        checked = check_source(
+            """
+            class C {
+              void callee(int p) { return; }
+              void m() { int{Alice:} x = 1; callee(x); }
+            }
+            """
+        )
+        _, _, label = checked.method_info("C", "callee").params[0]
+        assert label.conf == Label.of("{Alice:}").conf
+
+    def test_end_label_violation_rejected(self):
+        with pytest.raises(SecurityError):
+            check_source(
+                """
+                class C {
+                  void m() : {?:Alice} {
+                    boolean{?:} u = true;
+                    if (u) return;
+                    return;
+                  }
+                }
+                """
+            )
+
+    def test_method_authority_must_be_granted_by_class(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                """
+                class C authority(Alice) {
+                  void m() where authority(Bob) { return; }
+                }
+                """
+            )
+
+    def test_call_result_label(self):
+        checked = check_source(
+            """
+            class C {
+              int{Alice:} get() { return 1; }
+              void m() { int y = get(); }
+            }
+            """
+        )
+        assert checked.var_labels[("C", "m", "y")].conf == Label.of(
+            "{Alice:}"
+        ).conf
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                """
+                class C {
+                  void callee(int p) { return; }
+                  void m() { callee(); }
+                }
+                """
+            )
+
+
+class TestBaseTypes:
+    def test_arith_requires_int(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("boolean b = true; int x = b + 1;"))
+
+    def test_if_requires_boolean(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("int x = 1; if (x) x = 2;"))
+
+    def test_not_requires_boolean(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("int x = 1; boolean b = !x;"))
+
+    def test_assign_bool_to_int_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("int x = true;"))
+
+    def test_null_assignable_to_reference(self):
+        check_source(
+            "class Node { int v; } class C { void m() { Node n = null; } }"
+        )
+
+    def test_null_not_assignable_to_int(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("int x = null;"))
+
+    def test_reference_equality_ok(self):
+        check_source(
+            """
+            class Node { int v; }
+            class C { void m() { Node n = null; boolean b = n == null; } }
+            """
+        )
+
+    def test_int_less_than_ok(self):
+        check_source(wrap("boolean b = 1 < 2;"))
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("x = 1;"))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("nothing();"))
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("Widget w = null;"))
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(wrap("int x = 1; int x = 2;"))
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source("class C { int f; int f; }")
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(
+                "class C { void m() { return; } void m() { return; } }"
+            )
+
+
+class TestFigure2:
+    def test_strict_figure2_typechecks(self):
+        check_source(FIGURE2_STRICT)
+
+    def test_figure2_without_endorse_rejected(self):
+        # Omitting the endorse lowers pc integrity below Alice's
+        # requirement for the declassification (Section 4.3).
+        with pytest.raises(SecurityError):
+            check_source(FIGURE2_STRICT.replace("endorse(n, {?:Alice})", "n"))
+
+    def test_figure2_without_authority_rejected(self):
+        with pytest.raises(AuthorityError):
+            check_source(
+                FIGURE2_STRICT.replace("where authority(Alice) {", "{")
+            )
+
+
+FIGURE2_STRICT = """
+class OTExample authority(Alice) {
+  int{Alice:; ?:Alice} m1;
+  int{Alice:; ?:Alice} m2;
+  boolean{Alice: Bob; ?:Alice} isAccessed;
+
+  int{Bob:} transfer{?:Alice}(int{Bob:} n) where authority(Alice) {
+    int tmp1 = m1;
+    int tmp2 = m2;
+    if (!isAccessed) {
+      isAccessed = true;
+      if (endorse(n, {?:Alice}) == 1)
+        return declassify(tmp1, {Bob:});
+      else
+        return declassify(tmp2, {Bob:});
+    }
+    else return declassify(0, {Bob:});
+  }
+
+  void main{?:Alice}() where authority(Alice) {
+    m1 = 100;
+    m2 = 200;
+    isAccessed = false;
+    int r = transfer(1);
+  }
+}
+"""

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_trust_configuration, main
+
+PROGRAM = """
+class Payroll authority(Alice) {
+  int{Alice:; ?:Alice} salary = 120000;
+  int{?:Bob} bonusFactor = 3;
+  int{Alice:; ?:Alice} adjusted;
+
+  void main{?:Alice}() where authority(Alice) {
+    int factor = bonusFactor;
+    adjusted = salary + salary / 100 * endorse(factor, {?:Alice});
+  }
+}
+"""
+
+BROKEN = """
+class Leak {
+  int{Alice:} secret = 1;
+  int{} open;
+  void main() { open = secret; }
+}
+"""
+
+HOSTS = {
+    "hosts": [
+        {"name": "A", "conf": "{Alice:}", "integ": "{?:Alice}"},
+        {"name": "B", "conf": "{Bob:}", "integ": "{?:Bob}"},
+    ],
+    "preferences": [
+        {"principal": "Alice", "host": "A", "weight": 0.5}
+    ],
+}
+
+
+@pytest.fixture
+def files(tmp_path):
+    program = tmp_path / "prog.jif"
+    program.write_text(PROGRAM)
+    broken = tmp_path / "broken.jif"
+    broken.write_text(BROKEN)
+    hosts = tmp_path / "hosts.json"
+    hosts.write_text(json.dumps(HOSTS))
+    return str(program), str(broken), str(hosts)
+
+
+class TestCheck:
+    def test_valid_program(self, files, capsys):
+        program, _, _ = files
+        assert main(["check", program]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_program(self, files, capsys):
+        _, broken, _ = files
+        assert main(["check", broken]) == 1
+        assert "REJECTED" in capsys.readouterr().err
+
+    def test_verbose_lists_fields(self, files, capsys):
+        program, _, _ = files
+        main(["check", program, "-v"])
+        out = capsys.readouterr().out
+        assert "Payroll.salary" in out
+
+
+class TestSplitAndRun:
+    def test_split(self, files, capsys):
+        program, _, hosts = files
+        assert main(["split", program, "--hosts", hosts]) == 0
+        out = capsys.readouterr().out
+        assert "fragments" in out
+        assert "Payroll.salary -> A" in out
+
+    def test_split_graph(self, files, capsys):
+        program, _, hosts = files
+        main(["split", program, "--hosts", hosts, "--graph"])
+        out = capsys.readouterr().out
+        assert "Host A" in out
+
+    def test_run(self, files, capsys):
+        program, _, hosts = files
+        assert main(["run", program, "--hosts", hosts]) == 0
+        out = capsys.readouterr().out
+        assert "Payroll.adjusted = 123600" in out
+
+    def test_run_opt_level(self, files, capsys):
+        program, _, hosts = files
+        assert main(
+            ["run", program, "--hosts", hosts, "--opt-level", "0"]
+        ) == 0
+
+    def test_unsplittable_program_reports_rejection(
+        self, files, capsys, tmp_path
+    ):
+        _, _, hosts = files
+        both = tmp_path / "both.jif"
+        both.write_text(
+            """
+            class Both {
+              int{Alice:} a = 1;
+              int{Bob:} b = 2;
+              int{Alice:; Bob:} c;
+              void main{?:Alice}() { c = a + b; }
+            }
+            """
+        )
+        assert main(["split", str(both), "--hosts", hosts]) == 1
+        assert "REJECTED" in capsys.readouterr().err
+
+
+class TestHostsFile:
+    def test_load_trust_configuration(self, files):
+        _, _, hosts = files
+        config = load_trust_configuration(hosts)
+        assert "A" in config and "B" in config
+        assert config.preference("Alice", "A") == 0.5
+
+    def test_pins_and_links(self, tmp_path):
+        data = dict(HOSTS)
+        data["pins"] = [{"class": "Payroll", "field": "salary", "host": "A"}]
+        data["links"] = [{"a": "A", "b": "B", "cost": 3.5}]
+        path = tmp_path / "hosts.json"
+        path.write_text(json.dumps(data))
+        config = load_trust_configuration(str(path))
+        assert config.field_pin("Payroll", "salary") == "A"
+        assert config.link_cost("A", "B") == 3.5

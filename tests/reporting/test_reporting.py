@@ -1,0 +1,110 @@
+"""Tests for the Table 1 / Figure 4 reporting harnesses."""
+
+import pytest
+
+from repro.reporting import PAPER_TABLE1, fig4, table1
+from repro.splitter import split_source
+from repro.workloads import ot
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return table1.measure()
+
+
+class TestTable1:
+    def test_all_columns_measured(self, measured):
+        assert set(measured) == {"List", "OT", "Tax", "Work", "OT-h", "Tax-h"}
+
+    def test_paper_reference_complete(self):
+        for column in ("List", "OT", "Tax", "Work"):
+            row = PAPER_TABLE1[column]
+            for key in ("lines", "elapsed", "total_messages", "forward",
+                        "getField", "lgoto", "rgoto", "eliminated"):
+                assert key in row, (column, key)
+
+    def test_work_exact_match(self, measured):
+        ours = measured["Work"]
+        paper = PAPER_TABLE1["Work"]
+        for key in ("total_messages", "forward", "getField", "lgoto",
+                    "rgoto"):
+            assert ours[key] == paper[key], key
+
+    def test_ot_forward_exact_match(self, measured):
+        assert measured["OT"]["forward"] == PAPER_TABLE1["OT"]["forward"]
+
+    def test_handcoded_message_counts(self, measured):
+        assert measured["OT-h"]["total_messages"] == 800
+        assert measured["Tax-h"]["total_messages"] == 802
+
+    def test_render_includes_both_rows(self, measured):
+        text = table1.render(measured)
+        assert "(ours)" in text and "(paper)" in text
+        assert "Slowdown" in text
+
+    def test_simulated_times_same_order_as_paper(self, measured):
+        for column in ("List", "OT", "Tax", "Work"):
+            ours = measured[column]["elapsed"]
+            paper = PAPER_TABLE1[column]["elapsed"]
+            assert 0.1 * paper <= ours <= 2.0 * paper, column
+
+    def test_annotation_ratios_recorded(self, measured):
+        for column in ("List", "OT", "Tax", "Work"):
+            assert 0 < measured[column]["annotation_ratio"] < 0.5
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return split_source(ot.source(rounds=1), ot.config())
+
+    def test_render_contains_hosts_and_fields(self, result):
+        text = fig4.render(result)
+        for host in ("Host A", "Host B", "Host T"):
+            assert host in text
+        assert "OTBench.m1" in text
+
+    def test_render_shows_integrity_labels(self, result):
+        text = fig4.render(result)
+        assert "I_e" in text
+        assert "invokers" in text
+
+    def test_edge_summary_keys(self, result):
+        summary = fig4.edge_summary(result)
+        assert set(summary) == {
+            "rgoto", "lgoto", "sync", "local", "call", "return",
+        }
+        assert summary["call"] == 1
+        assert summary["return"] >= 3
+
+
+class TestExperimentRunner:
+    def test_run_all_sections(self):
+        from repro.reporting import experiments
+
+        data = experiments.run_all()
+        assert set(data) == {
+            "table1", "overheads", "optimizations",
+            "read_channel_scenarios", "attacks",
+        }
+
+    def test_scenarios_match_paper(self):
+        from repro.reporting import experiments
+
+        data = experiments.scenario_experiment()
+        assert data["outcomes"] == data["paper"]
+
+    def test_all_attacks_rejected(self):
+        from repro.reporting import experiments
+
+        data = experiments.attack_experiment()
+        assert data["all_rejected"]
+        assert data["attempts"] >= 8
+
+    def test_forward_reduction_above_half(self):
+        from repro.reporting import experiments
+
+        data = experiments.optimization_experiment()
+        for name in ("List", "OT", "Tax"):
+            reduction = data[name]["forward_reduction"]
+            assert reduction is None or reduction > 0.5, name

@@ -1,0 +1,103 @@
+"""Tests for the execution tracer, including the Figure 4 walkthrough:
+the paper's step-by-step narrative of the partitioned oblivious
+transfer, re-enacted as a checked event sequence."""
+
+import pytest
+
+from repro.runtime.trace import traced_run
+from repro.splitter import split_source
+
+from tests.programs import OT_SOURCE, config_abt
+
+
+@pytest.fixture(scope="module")
+def ot_trace():
+    result = split_source(OT_SOURCE, config_abt())
+    outcome, tracer = traced_run(result.split)
+    return result.split, outcome, tracer
+
+
+class TestTracer:
+    def test_events_recorded(self, ot_trace):
+        _, _, tracer = ot_trace
+        assert tracer.events
+
+    def test_kinds_match_network_counts(self, ot_trace):
+        _, outcome, tracer = ot_trace
+        assert tracer.kinds().count("rgoto") == outcome.counts["rgoto"]
+        assert tracer.kinds().count("lgoto") == outcome.counts["lgoto"]
+
+    def test_sequence_renders(self, ot_trace):
+        _, _, tracer = ot_trace
+        lines = tracer.sequence()
+        assert all("->" in line or line for line in lines)
+
+
+class TestFigure4Walkthrough:
+    """Section 5.4's narrative, event by event.
+
+    Our partition starts on A (Alice initializes her fields) rather than
+    T, but the choreography is the paper's: a capability is created for
+    the trusted return point before control descends to B; B comes back
+    only by consuming it; the transfer call then moves control to
+    Alice's machine and back through T's endorse test.
+    """
+
+    def test_capability_created_before_control_reaches_b(self, ot_trace):
+        split, _, tracer = ot_trace
+        first_rgoto_to_b = tracer.first_index("rgoto", dst="B")
+        assert first_rgoto_to_b >= 0
+        sync_index = tracer.first_index("sync")
+        assert 0 <= sync_index < first_rgoto_to_b
+
+    def test_b_returns_via_lgoto_to_t(self, ot_trace):
+        split, _, tracer = ot_trace
+        lgoto_from_b = tracer.first_index("lgoto", src="B", dst="T")
+        rgoto_to_b = tracer.first_index("rgoto", dst="B")
+        assert lgoto_from_b > rgoto_to_b >= 0
+
+    def test_transfer_invoked_on_a_after_bs_return(self, ot_trace):
+        split, _, tracer = ot_trace
+        lgoto_from_b = tracer.first_index("lgoto", src="B", dst="T")
+        transfer_entry = split.methods[("OTExample", "transfer")].entry
+        call_rgoto = next(
+            (
+                index
+                for index, event in enumerate(tracer.events)
+                if event.kind == "rgoto" and event.entry == transfer_entry
+            ),
+            -1,
+        )
+        assert call_rgoto > lgoto_from_b
+
+    def test_a_hands_control_to_t_by_rgoto(self, ot_trace):
+        """Figure 4: A 'forwards the values of m1 and m2 to T and hands
+        back control via rgoto to e3'."""
+        split, _, tracer = ot_trace
+        transfer_entry = split.methods[("OTExample", "transfer")].entry
+        call_index = next(
+            index
+            for index, event in enumerate(tracer.events)
+            if event.kind == "rgoto" and event.entry == transfer_entry
+        )
+        after = tracer.events[call_index + 1:]
+        a_to_t = [
+            e for e in after if e.kind == "rgoto" and e.src == "A"
+            and e.dst == "T"
+        ]
+        assert a_to_t
+
+    def test_b_never_sends_rgoto(self, ot_trace):
+        """B only ever returns control with its one-shot capability."""
+        _, _, tracer = ot_trace
+        assert not [
+            e for e in tracer.events if e.kind == "rgoto" and e.src == "B"
+        ]
+
+    def test_no_spurious_messages_to_b(self, ot_trace):
+        """B receives exactly its one code activation (plus nothing
+        else): Alice's secrets never travel toward B."""
+        _, _, tracer = ot_trace
+        to_b = [e for e in tracer.events if e.dst == "B"]
+        assert all(e.kind == "rgoto" for e in to_b)
+        assert len(to_b) == 1

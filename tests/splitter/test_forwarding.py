@@ -1,0 +1,152 @@
+"""Tests for the data-forwarding dataflow analysis (Section 5.2)."""
+
+import pytest
+
+from repro.splitter import split_source
+from repro.splitter.fragments import OpForward, TermCall
+
+from tests.programs import config_abt
+
+
+def forwards_of(split):
+    result = {}
+    for entry, fragment in split.fragments.items():
+        for op in fragment.ops:
+            if isinstance(op, OpForward):
+                result.setdefault(op.var, []).append(
+                    (fragment.host, tuple(op.hosts))
+                )
+    return result
+
+
+class TestForwardPlacement:
+    def test_value_forwarded_from_definition_host(self):
+        source = """
+        class F {
+          int{Alice:; ?:Alice} a;
+          int{Alice:; Bob:} both;
+          void main{?:Alice}() {
+            int{Alice:} va = a;
+            both = va + 0;
+          }
+        }
+        """
+        split = split_source(source, config_abt()).split
+        forwards = forwards_of(split)
+        # va is produced on A (reads a locally) and consumed on T
+        # (the only host that may hold {Alice:; Bob:}).
+        assert "va" in forwards
+        src_host, targets = forwards["va"][0]
+        assert src_host == "A"
+        assert targets == ("T",)
+
+    def test_no_forward_when_single_host(self):
+        source = """
+        class F {
+          int{Alice:; ?:Alice} a;
+          void main{?:Alice}() {
+            int{Alice:; ?:Alice} x = a;
+            a = x + 1;
+          }
+        }
+        """
+        split = split_source(source, config_abt()).split
+        assert forwards_of(split) == {}
+
+    def test_redefinition_cuts_forwarding(self):
+        """A value overwritten before any cross-host use is not sent."""
+        source = """
+        class F {
+          int{Alice:; ?:Alice} a;
+          int{Alice:; Bob:} both;
+          void main{?:Alice}() {
+            int{Alice:} v = a;
+            v = 5;
+            both = v + 0;
+          }
+        }
+        """
+        split = split_source(source, config_abt()).split
+        forwards = forwards_of(split)
+        # Only the final definition's fragment forwards v.
+        assert len(forwards.get("v", [])) == 1
+
+    def test_loop_carried_value_reaches_consumer(self):
+        """The per-iteration value crosses hosts one way or another —
+        forward, remote read, or remote write — and the run is correct."""
+        source = """
+        class F {
+          int{Alice:; ?:Alice} a;
+          int{Alice:; Bob:} joint;
+          void main{?:Alice}() {
+            int{?:Alice} i = 0;
+            while (i < 3) {
+              int{Alice:} va = a;
+              joint = va + i;
+              i = i + 1;
+            }
+            a = 5;
+          }
+        }
+        """
+        from repro.runtime import run_split_program
+
+        result = split_source(source, config_abt())
+        outcome = run_split_program(result.split)
+        assert outcome.field_value("F", "joint") == 0 + 2  # a=0 default
+        counts = outcome.counts
+        crossings = (
+            counts["forward"] + counts["getField"] + counts["setField"]
+        )
+        assert crossings >= 3  # once per iteration, some way
+
+    def test_arg_hosts_empty_for_unused_param(self):
+        source = """
+        class F {
+          int{Alice:; ?:Alice} out;
+          int{Alice:; ?:Alice} pick{?:Alice}(int{Alice:} unused,
+                                             int{Alice:; ?:Alice} kept) {
+            return kept;
+          }
+          void main{?:Alice}() {
+            out = pick(1, 2);
+          }
+        }
+        """
+        split = split_source(source, config_abt()).split
+        call = next(
+            f.terminator
+            for f in split.fragments.values()
+            if isinstance(f.terminator, TermCall)
+        )
+        assert call.arg_hosts.get("unused", []) == []
+        assert call.arg_hosts["kept"]
+
+    def test_multiple_consumers_each_receive(self):
+        source = """
+        class F {
+          int{?:Alice} aliceSide;
+          int{?:Bob} bobSide;
+          void main{?:Alice, Bob}() {
+            int v = 3;
+            aliceSide = v;
+            bobSide = v;
+          }
+        }
+        """
+        # main's pc is trusted by both, so it cannot be anchored by A or
+        # B — use a jointly trusted host plus the two machines.
+        from repro.trust import HostDescriptor, TrustConfiguration
+
+        config = TrustConfiguration(
+            [
+                HostDescriptor.of("A", "{Alice:}", "{?:Alice}"),
+                HostDescriptor.of("B", "{Bob:}", "{?:Bob}"),
+                HostDescriptor.of("J", "{Alice:; Bob:}", "{?:Alice, Bob}"),
+            ]
+        )
+        split = split_source(source, config).split
+        forwards = forwards_of(split)
+        if "v" in forwards:
+            _, targets = forwards["v"][0]
+            assert set(targets) <= {"A", "B"}

@@ -1,0 +1,264 @@
+"""Tests for AST → IR lowering: call flattening, use/def sets, labels."""
+
+import pytest
+
+from repro.labels import parse_label
+from repro.lang import check_source
+from repro.splitter import ir, lower_program
+
+
+def lowered(source):
+    return lower_program(check_source(source))
+
+
+def main_body(program, cls="C"):
+    return program.method(cls, "main").body
+
+
+class TestStructure:
+    def test_simple_assignments(self):
+        program = lowered(
+            "class C { void main() { int x = 1; int y = x + 2; } }"
+        )
+        body = main_body(program)
+        assert isinstance(body[0], ir.AssignVar)
+        assert isinstance(body[1], ir.AssignVar)
+        assert isinstance(body[-1], ir.ReturnStmt)  # normalization
+
+    def test_explicit_return_not_duplicated(self):
+        program = lowered("class C { int main() { return 3; } }")
+        body = main_body(program)
+        returns = [s for s in body if isinstance(s, ir.ReturnStmt)]
+        assert len(returns) == 1
+
+    def test_if_lowering(self):
+        program = lowered(
+            """
+            class C { void main() {
+              boolean g = true; int y = 0;
+              if (g) y = 1; else y = 2;
+            } }
+            """
+        )
+        if_stmt = next(
+            s for s in main_body(program) if isinstance(s, ir.IfStmt)
+        )
+        assert len(if_stmt.then_body) == 1
+        assert len(if_stmt.else_body) == 1
+
+    def test_while_lowering(self):
+        program = lowered(
+            """
+            class C { void main() {
+              int i = 0;
+              while (i < 3) i = i + 1;
+            } }
+            """
+        )
+        loop = next(
+            s for s in main_body(program) if isinstance(s, ir.WhileStmt)
+        )
+        assert len(loop.body) == 1
+        assert loop.body[0].info.loop_depth == 1
+
+    def test_nested_loop_depth(self):
+        program = lowered(
+            """
+            class C { void main() {
+              int i = 0;
+              while (i < 3) {
+                int j = 0;
+                while (j < 3) j = j + 1;
+                i = i + 1;
+              }
+            } }
+            """
+        )
+        outer = next(
+            s for s in main_body(program) if isinstance(s, ir.WhileStmt)
+        )
+        inner = next(s for s in outer.body if isinstance(s, ir.WhileStmt))
+        assert inner.body[0].info.loop_depth == 2
+
+
+class TestCallFlattening:
+    def test_call_in_initializer(self):
+        program = lowered(
+            """
+            class C {
+              int get() { return 7; }
+              void main() { int x = get(); }
+            }
+            """
+        )
+        body = main_body(program)
+        call = next(s for s in body if isinstance(s, ir.CallStmt))
+        assert call.result is not None
+        assign = next(
+            s
+            for s in body
+            if isinstance(s, ir.AssignVar) and s.var == "x"
+        )
+        assert isinstance(assign.expr, ir.VarUse)
+        assert assign.expr.name == call.result
+
+    def test_nested_calls_flatten_in_order(self):
+        program = lowered(
+            """
+            class C {
+              int twice(int v) { return v + v; }
+              void main() { int x = twice(twice(2)); }
+            }
+            """
+        )
+        calls = [
+            s for s in main_body(program) if isinstance(s, ir.CallStmt)
+        ]
+        assert len(calls) == 2
+        # Inner call's temp feeds the outer call's argument.
+        inner, outer = calls
+        assert any(
+            isinstance(arg, ir.VarUse) and arg.name == inner.result
+            for arg in outer.args
+        )
+
+    def test_void_call_statement(self):
+        program = lowered(
+            """
+            class C {
+              void ping() { return; }
+              void main() { ping(); }
+            }
+            """
+        )
+        call = next(
+            s for s in main_body(program) if isinstance(s, ir.CallStmt)
+        )
+        assert call.result is None
+
+    def test_call_in_loop_guard_reevaluated(self):
+        program = lowered(
+            """
+            class C {
+              int next() { return 0; }
+              void main() {
+                while (next() == 1) { int x = 1; }
+              }
+            }
+            """
+        )
+        body = main_body(program)
+        pre_calls = [s for s in body if isinstance(s, ir.CallStmt)]
+        assert len(pre_calls) == 1
+        loop = next(s for s in body if isinstance(s, ir.WhileStmt))
+        loop_calls = [s for s in loop.body if isinstance(s, ir.CallStmt)]
+        assert len(loop_calls) == 1
+        # Both assign the SAME temp, so the guard rechecks fresh values.
+        assert loop_calls[0].result == pre_calls[0].result
+
+    def test_temp_registered_with_label_and_base(self):
+        program = lowered(
+            """
+            class C {
+              int{Alice:} get() { return 1; }
+              void main() { int x = get(); }
+            }
+            """
+        )
+        method = program.method("C", "main")
+        call = next(
+            s for s in method.body if isinstance(s, ir.CallStmt)
+        )
+        assert method.var_bases[call.result] == "int"
+        assert method.locals[call.result].conf == parse_label("{Alice:}").conf
+
+
+class TestInfo:
+    def test_use_def_sets(self):
+        program = lowered(
+            "class C { void main() { int a = 1; int b = a + 2; } }"
+        )
+        body = main_body(program)
+        assign_b = body[1]
+        assert assign_b.info.used_vars == {"a"}
+        assert assign_b.info.defined_vars == {"b"}
+
+    def test_field_use_def(self):
+        program = lowered(
+            """
+            class C {
+              int f;
+              void main() { f = f + 1; }
+            }
+            """
+        )
+        stmt = main_body(program)[0]
+        assert stmt.info.used_fields == {("C", "f")}
+        assert stmt.info.defined_fields == {("C", "f")}
+
+    def test_l_in_includes_pc(self):
+        program = lowered(
+            """
+            class C { void main() {
+              boolean{Alice:} g = true;
+              int y = 0;
+              if (g) y = 1;
+            } }
+            """
+        )
+        if_stmt = next(
+            s for s in main_body(program) if isinstance(s, ir.IfStmt)
+        )
+        inner = if_stmt.then_body[0]
+        assert inner.info.l_in.conf == parse_label("{Alice:}").conf
+
+    def test_downgrade_principals_recorded(self):
+        program = lowered(
+            """
+            class C authority(Alice) {
+              void main() where authority(Alice) {
+                int{Alice:} a = 1;
+                int y = declassify(a, {});
+              }
+            }
+            """
+        )
+        stmt = next(
+            s
+            for s in main_body(program)
+            if isinstance(s, ir.AssignVar) and s.var == "y"
+        )
+        assert {p.name for p in stmt.info.downgrade_principals} == {"Alice"}
+
+    def test_guard_l_out_is_none(self):
+        program = lowered(
+            """
+            class C { void main() {
+              boolean g = true;
+              if (g) { int y = 1; }
+            } }
+            """
+        )
+        if_stmt = next(
+            s for s in main_body(program) if isinstance(s, ir.IfStmt)
+        )
+        assert if_stmt.info.l_out is None
+
+    def test_return_l_out_is_return_label(self):
+        program = lowered(
+            "class C { int{Bob:} get() { return 1; } void main() { } }"
+        )
+        method = program.method("C", "get")
+        ret = next(
+            s for s in method.body if isinstance(s, ir.ReturnStmt)
+        )
+        assert ret.info.l_out.conf == parse_label("{Bob:}").conf
+
+    def test_expr_statement_drops_pure_expression(self):
+        program = lowered(
+            "class C { void main() { int x = 1; x + 2; } }"
+        )
+        body = main_body(program)
+        # The pure expression statement vanishes; only the decl + the
+        # synthesized return remain.
+        assert len(body) == 2

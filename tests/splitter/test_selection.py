@@ -1,0 +1,199 @@
+"""Tests for the Section 4 static constraints on host selection,
+including the read-channel scenarios the paper walks through."""
+
+import pytest
+
+from repro.labels import IntegLabel, parse_conf_label
+from repro.lang import check_source
+from repro.splitter import (
+    SplitError,
+    compute_candidates,
+    field_candidates,
+    lower_program,
+    split_source,
+    statement_candidates,
+)
+from repro.splitter import ir
+from repro.trust import HostDescriptor, TrustConfiguration
+
+from tests.programs import (
+    OT_NAIVE_SOURCE,
+    OT_SOURCE,
+    OT_S_SOURCE,
+    config_ab,
+    config_abs,
+    config_abt,
+    single_host_config,
+)
+
+
+def candidates_for(source, config):
+    checked = check_source(source)
+    program = lower_program(checked)
+    return checked, program, compute_candidates(checked, program, config)
+
+
+class TestFieldCandidates:
+    def test_alice_field_goes_to_alice_trusted_hosts(self):
+        checked, program, sets = candidates_for(OT_SOURCE, config_abt())
+        hosts = sets.field_hosts(("OTExample", "m1"))
+        assert set(hosts) == {"A", "T"}
+
+    def test_bob_field_goes_to_bob_hosts(self):
+        checked, program, sets = candidates_for(OT_SOURCE, config_abt())
+        hosts = sets.field_hosts(("OTExample", "request"))
+        # request is Bob's input ({Bob:; ?:Bob}): only his machine has
+        # both the confidentiality clearance and his integrity.
+        assert set(hosts) == {"B"}
+
+    def test_integrity_constrains_placement(self):
+        # S may hold Alice's secrets but not her trusted data.
+        checked = check_source(OT_SOURCE)
+        info = checked.field_info("OTExample", "m1")
+        s_host = HostDescriptor.of("S", "{Alice:; Bob:}", "{?:}")
+        assert not field_candidates(info, TrustConfiguration([s_host]))
+
+    def test_unplaceable_field_raises_with_diagnostic(self):
+        source = """
+        class C {
+          int{Carol:; ?:Carol} secret;
+          void main() { secret = 1; }
+        }
+        """
+        with pytest.raises(SplitError) as exc:
+            split_source(source, config_ab())
+        assert "Carol" in str(exc.value)
+        assert "no host can store field" in str(exc.value)
+
+
+class TestReadChannels:
+    def test_naive_ot_fails_with_a_and_b(self):
+        """Section 4.2: with only A and B, the naive program leaks Bob's
+        request through Alice's observation of the read."""
+        with pytest.raises(SplitError):
+            split_source(OT_NAIVE_SOURCE, config_ab())
+
+    def test_naive_ot_diagnostic_mentions_read_channel(self):
+        with pytest.raises(SplitError) as exc:
+            split_source(OT_NAIVE_SOURCE, config_ab())
+        assert "read channel" in str(exc.value).lower()
+
+    def test_naive_ot_splits_with_t(self):
+        """Adding T lets the splitter place m1/m2 on T, out of Alice's
+        sight — even the naive code splits."""
+        result = split_source(OT_NAIVE_SOURCE, config_abt(prefer_alice_a=False))
+        assert result.split.fields[("OTExample", "m1")].host == "T"
+        assert result.split.fields[("OTExample", "m2")].host == "T"
+
+    def test_naive_ot_fails_with_s(self):
+        """S has enough privacy but not Alice's integrity, so the naive
+        fields can't live there."""
+        with pytest.raises(SplitError):
+            split_source(OT_NAIVE_SOURCE, config_abs())
+
+    def test_temporaries_fix_the_read_channel_for_s(self):
+        """The Figure 2 temporaries copy the values instead of moving the
+        fields; with tmp1/tmp2 the program splits using S."""
+        result = split_source(OT_S_SOURCE, config_abs())
+        # The fields stay on A (Alice's integrity), the branch reads only
+        # the forwarded temporaries.
+        assert result.split.fields[("OTExample", "m1")].host == "A"
+        assert result.split.fields[("OTExample", "m2")].host == "A"
+
+    def test_parameterized_ot_needs_alice_trusted_third_party(self):
+        """With only S (no integrity), the Figure 2 call — whose argument
+        is Bob-confidential but whose continuation is Alice-trusted —
+        cannot be placed anywhere."""
+        with pytest.raises(SplitError):
+            split_source(OT_SOURCE, config_abs())
+
+    def test_strict_ot_needs_third_party(self):
+        """Known result: oblivious transfer needs a trusted third party;
+        with only A and B even the strict program fails to split."""
+        with pytest.raises(SplitError):
+            split_source(OT_SOURCE, config_ab())
+
+    def test_strict_ot_splits_with_a_b_t(self):
+        result = split_source(OT_SOURCE, config_abt())
+        assert result.split.fields[("OTExample", "m1")].host == "A"
+
+    def test_loc_label_constrains_field_host(self):
+        """A field read under a Bob-secret pc cannot live on Alice's
+        machine even if Alice owns it."""
+        source = """
+        class C authority(Alice, Bob) {
+          int{Alice: Bob; ?:Alice} secret;
+          int{Bob:; ?:Bob} guard = 1;
+
+          void main{?:Alice, Bob}() where authority(Alice, Bob) {
+            int{Bob:; ?:Bob} g = guard;
+            int{Bob:} x = 0;
+            if (endorse(g, {?:Alice, Bob}) == 1) {
+              x = declassify(secret, {Bob:});
+            }
+          }
+        }
+        """
+        checked = check_source(source)
+        info = checked.field_info("C", "secret")
+        loc = info.loc_label
+        # The read happens under a pc that depends on Bob's guard.
+        assert not loc.flows_to(parse_conf_label("{Alice: Bob}"))
+
+
+class TestStatementCandidates:
+    def test_statement_needs_confidentiality(self):
+        checked, program, sets = candidates_for(OT_SOURCE, config_abt())
+        # The endorse test reads Bob's n under Alice's pc: only T holds both.
+        method = program.method("OTExample", "transfer")
+        guards = [
+            stmt
+            for stmt in ir.walk_stmts(method.body)
+            if isinstance(stmt, ir.IfStmt) and stmt.info.downgrade_principals
+        ]
+        assert guards
+        assert sets.statement_hosts(guards[0]) == ["T"]
+
+    def test_statement_needs_integrity(self):
+        checked, program, sets = candidates_for(OT_SOURCE, config_abt())
+        method = program.method("OTExample", "main")
+        writes = [
+            stmt
+            for stmt in ir.walk_stmts(method.body)
+            if isinstance(stmt, ir.AssignField)
+            and stmt.field == "m1"
+        ]
+        assert set(sets.statement_hosts(writes[0])) == {"A", "T"}
+
+    def test_downgrade_needs_authority_host(self):
+        """Section 4.3: a declassify must run on a host its authorizing
+        principal trusts."""
+        checked, program, sets = candidates_for(OT_SOURCE, config_abt())
+        method = program.method("OTExample", "transfer")
+        returns = [
+            stmt
+            for stmt in ir.walk_stmts(method.body)
+            if isinstance(stmt, ir.ReturnStmt) and stmt.info.downgrade_principals
+        ]
+        assert returns
+        for stmt in returns:
+            assert "B" not in sets.statement_hosts(stmt)
+
+    def test_everything_fits_single_trusted_host(self):
+        checked, program, sets = candidates_for(OT_SOURCE, single_host_config())
+        for hosts in sets.statements.values():
+            assert [h.name for h in hosts] == ["H"]
+
+    def test_unplaceable_statement_raises(self):
+        # Computing with Alice's and Bob's secrets together needs a host
+        # cleared for both; A and B alone cannot do it.
+        source = """
+        class C {
+          int{Alice:} a = 1;
+          int{Bob:} b = 2;
+          void main() { int s = a + b; }
+        }
+        """
+        with pytest.raises(SplitError) as exc:
+            split_source(source, config_ab())
+        assert "no host can execute statement" in str(exc.value)

@@ -1,0 +1,198 @@
+"""Tests for fragment translation: entry integrity, transfer selection,
+sync placement, and the structure of the generated protocol."""
+
+import pytest
+
+from repro.labels import IntegLabel, Principal, parse_integ_label
+from repro.splitter import (
+    SplitError,
+    TermBranch,
+    TermCall,
+    TermJump,
+    TermReturn,
+    split_source,
+)
+from repro.splitter.fragments import OpForward
+
+from tests.programs import OT_SOURCE, PINGPONG_SOURCE, config_abt
+
+
+def ot_split():
+    return split_source(OT_SOURCE, config_abt()).split
+
+
+class TestEntryIntegrity:
+    def test_entries_carry_pc_integrity(self):
+        split = ot_split()
+        for fragment in split.fragments.values():
+            # Everything in OT runs at Alice-trusted pc, so every entry
+            # requires at least Alice's trust of its invoker.
+            assert fragment.integ.trust >= {Principal("Alice")} or (
+                fragment.integ.trust
+            ), fragment.entry
+
+    def test_b_entry_still_alice_gated(self):
+        """B's own fragment writes only untrusted data, so its entry's
+        I_e is exactly the pc integrity — T can invoke it, B cannot be
+        re-entered by (say) S."""
+        split = ot_split()
+        b_fragments = split.fragments_on("B")
+        assert b_fragments
+        for fragment in b_fragments:
+            assert fragment.integ == parse_integ_label("{?:Alice}")
+
+    def test_invoker_sets_follow_integrity(self):
+        split = ot_split()
+        for entry, fragment in split.fragments.items():
+            invokers = split.entry_invokers(entry)
+            assert "B" not in invokers  # I_B = {?:Bob} ⋢ {?:Alice}
+
+
+class TestTransferSelection:
+    def test_descending_transfers_are_rgoto(self):
+        """Control entering B (lower integrity) uses rgoto."""
+        split = ot_split()
+        rgoto_targets = set()
+        for fragment in split.fragments.values():
+            terminator = fragment.terminator
+            plans = []
+            if isinstance(terminator, TermJump):
+                plans = [terminator.plan]
+            elif isinstance(terminator, TermBranch):
+                plans = [terminator.plan_true, terminator.plan_false]
+            for plan in plans:
+                for action in plan:
+                    if action.kind == "rgoto":
+                        rgoto_targets.add(split.entry_host(action.entry))
+        assert "B" in rgoto_targets
+
+    def test_ascending_transfers_are_lgoto(self):
+        """Control leaving B back to T uses lgoto (Figure 4's t1)."""
+        split = ot_split()
+        for fragment in split.fragments_on("B"):
+            terminator = fragment.terminator
+            if isinstance(terminator, TermJump):
+                kinds = [a.kind for a in terminator.plan]
+                assert "rgoto" not in kinds or kinds[-1] == "lgoto"
+
+    def test_each_lgoto_has_matching_sync(self):
+        split = ot_split()
+        syncs = []
+        lgotos = []
+        for fragment in split.fragments.values():
+            terminator = fragment.terminator
+            plans = []
+            if isinstance(terminator, TermJump):
+                plans = [terminator.plan]
+            elif isinstance(terminator, TermBranch):
+                plans = [terminator.plan_true, terminator.plan_false]
+            for plan in plans:
+                for action in plan:
+                    if action.kind == "sync":
+                        syncs.append(action.entry)
+                    if action.kind == "lgoto":
+                        lgotos.append(action.entry)
+        for target in lgotos:
+            assert target in syncs
+
+    def test_prologue_added_for_low_first_statement(self):
+        """A method whose first statement sits on a low-integrity host
+        gets an empty anchoring entry on a trusted host."""
+        source = """
+        class P authority(Alice) {
+          int{?:Bob} fromBob = 1;
+          int{Alice:; ?:Alice} kept;
+          void main{?:Alice}() where authority(Alice) {
+            int raw = fromBob;
+            kept = endorse(raw, {?:Alice});
+          }
+        }
+        """
+        split = split_source(source, config_abt()).split
+        main_fragment = split.fragments[split.main_entry]
+        assert main_fragment.host in ("A", "T")
+        assert main_fragment.ops == []
+
+
+class TestCalls:
+    def test_call_terminator_structure(self):
+        split = ot_split()
+        calls = [
+            f.terminator
+            for f in split.fragments.values()
+            if isinstance(f.terminator, TermCall)
+        ]
+        assert len(calls) == 1
+        call = calls[0]
+        assert call.callee_key == ("OTExample", "transfer")
+        assert call.result_var is not None
+        assert call.args[0][0] == "n"
+
+    def test_argument_routing_avoids_uncleared_hosts(self):
+        """Bob's choice goes only to T (where n is tested) — never to A,
+        even though the callee's entry fragment lives there."""
+        split = ot_split()
+        call = next(
+            f.terminator
+            for f in split.fragments.values()
+            if isinstance(f.terminator, TermCall)
+        )
+        assert call.arg_hosts["n"] == ["T"]
+        assert split.entry_host(call.callee_entry) == "A"
+
+    def test_result_routed_to_consumers(self):
+        split = ot_split()
+        call = next(
+            f.terminator
+            for f in split.fragments.values()
+            if isinstance(f.terminator, TermCall)
+        )
+        assert call.result_hosts  # r = $t0 consumed somewhere
+
+    def test_returns_are_lgoto_of_call_capability(self):
+        split = ot_split()
+        returns = [
+            f
+            for f in split.fragments.values()
+            if isinstance(f.terminator, TermReturn)
+        ]
+        assert returns
+
+
+class TestForwardOps:
+    def test_forwards_inserted_for_cross_host_uses(self):
+        split = ot_split()
+        forwards = [
+            op
+            for fragment in split.fragments.values()
+            for op in fragment.ops
+            if isinstance(op, OpForward)
+        ]
+        forwarded_vars = {op.var for op in forwards}
+        # tmp1/tmp2 are defined on A and declassified on T.
+        assert {"tmp1", "tmp2"} <= forwarded_vars
+
+    def test_no_self_forwards(self):
+        split = ot_split()
+        for fragment in split.fragments.values():
+            for op in fragment.ops:
+                if isinstance(op, OpForward):
+                    assert fragment.host not in op.hosts
+
+
+class TestUnsplittablePrograms:
+    def test_mutual_distrust_loop_rejected(self):
+        """A loop whose continuation needs integrity no host can anchor
+        is rejected with a Section 5.3 diagnostic."""
+        source = """
+        class M {
+          int{?:Alice} a;
+          int{?:Bob} b;
+          void main{?:Alice, Bob}() {
+            a = 1;
+            b = 2;
+          }
+        }
+        """
+        with pytest.raises(SplitError):
+            split_source(source, config_abt())

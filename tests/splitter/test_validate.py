@@ -1,0 +1,147 @@
+"""Tests for the post-translation ICS validator: correct splits pass,
+and deliberately corrupted ones are caught."""
+
+import pytest
+
+from repro.splitter import (
+    EdgeAction,
+    TermCall,
+    TermJump,
+    ValidationError,
+    split_source,
+    validate_split,
+)
+from repro.splitter.fragments import TermReturn
+
+from tests.programs import (
+    OT_SOURCE,
+    PINGPONG_SOURCE,
+    SIMPLE_SOURCE,
+    config_abt,
+    single_host_config,
+)
+
+
+def fresh_split(source=OT_SOURCE, config=None):
+    return split_source(source, config or config_abt()).split
+
+
+class TestValidSplitsPass:
+    def test_ot(self):
+        validate_split(fresh_split())
+
+    def test_pingpong(self):
+        validate_split(fresh_split(PINGPONG_SOURCE))
+
+    def test_simple_single_host(self):
+        validate_split(fresh_split(SIMPLE_SOURCE, single_host_config()))
+
+    def test_workloads(self):
+        from repro.workloads import listcompare, ot, tax, work
+
+        for module in (listcompare, ot, tax, work):
+            split = split_source(module.source(), module.config()).split
+            validate_split(split)
+
+
+def _find_lgoto_fragment(split):
+    for fragment in split.fragments.values():
+        terminator = fragment.terminator
+        if isinstance(terminator, TermJump) and any(
+            action.kind == "lgoto" for action in terminator.plan
+        ):
+            return fragment
+    return None
+
+
+class TestCorruptedSplitsFail:
+    def test_lgoto_replaced_by_rgoto_detected(self):
+        """Turning B's capability return into a plain rgoto is exactly
+        the attack the ICS exists to prevent; the validator re-derives
+        the Section 5.5 violation."""
+        split = fresh_split()
+        fragment = _find_lgoto_fragment(split)
+        assert fragment is not None
+        for action in fragment.terminator.plan:
+            if action.kind == "lgoto":
+                action.kind = "rgoto"
+        with pytest.raises(ValidationError):
+            validate_split(split)
+
+    def test_dropped_sync_detected(self):
+        split = fresh_split()
+        for fragment in split.fragments.values():
+            terminator = fragment.terminator
+            if isinstance(terminator, TermJump):
+                syncs = [a for a in terminator.plan if a.kind == "sync"]
+                if syncs:
+                    terminator.plan.remove(syncs[0])
+                    break
+        else:
+            pytest.skip("no sync in this split")
+        with pytest.raises(ValidationError):
+            validate_split(split)
+
+    def test_spurious_sync_detected(self):
+        """An extra push with no matching pop unbalances the stack."""
+        split = fresh_split()
+        fragment = _find_lgoto_fragment(split)
+        entry = fragment.entry
+        for other in split.fragments.values():
+            terminator = other.terminator
+            if isinstance(terminator, TermJump) and any(
+                a.kind == "rgoto" for a in terminator.plan
+            ):
+                if other.host == split.fragments[entry].host:
+                    continue
+                terminator.plan.insert(0, EdgeAction("sync", entry))
+                break
+        with pytest.raises(ValidationError):
+            validate_split(split)
+
+    def test_relocated_continuation_detected(self):
+        split = fresh_split()
+        for fragment in split.fragments.values():
+            if isinstance(fragment.terminator, TermCall):
+                cont = split.fragments[fragment.terminator.cont_entry]
+                other_host = next(
+                    h for h in split.config.host_names if h != cont.host
+                )
+                cont.host = other_host
+                break
+        with pytest.raises(ValidationError):
+            validate_split(split)
+
+    def test_dangling_plan_detected(self):
+        split = fresh_split()
+        fragment = next(
+            f
+            for f in split.fragments.values()
+            if isinstance(f.terminator, TermJump)
+        )
+        fragment.terminator = TermJump([])
+        with pytest.raises(ValidationError):
+            validate_split(split)
+
+    def test_local_edge_across_hosts_detected(self):
+        split = fresh_split()
+        for fragment in split.fragments.values():
+            terminator = fragment.terminator
+            if isinstance(terminator, TermJump):
+                for action in terminator.plan:
+                    if action.kind == "rgoto":
+                        action.kind = "local"
+                        with pytest.raises(ValidationError):
+                            validate_split(split)
+                        return
+        pytest.skip("no rgoto edge found")
+
+    def test_low_integrity_rgoto_detected(self):
+        """Pointing a B fragment's transfer at a privileged entry must
+        trip the I_i ⊑ I_e re-check."""
+        split = fresh_split()
+        b_fragment = _find_lgoto_fragment(split)
+        privileged = split.methods[("OTExample", "transfer")].entry
+        b_fragment.terminator = TermJump([EdgeAction("rgoto", privileged)])
+        with pytest.raises(ValidationError):
+            validate_split(split)
