@@ -5,6 +5,8 @@ Usage (also via ``python -m repro``)::
     python -m repro check program.jif
     python -m repro split program.jif --hosts hosts.json [--graph]
     python -m repro run program.jif --hosts hosts.json [--opt-level N]
+    python -m repro faultsweep [program.jif --hosts hosts.json]
+                               [--schedules N] [--seed S]
     python -m repro table1
     python -m repro fig4
 
@@ -116,6 +118,40 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultsweep(args: argparse.Namespace) -> int:
+    from .runtime.faultsweep import sweep
+    from .workloads import ot
+
+    if args.program:
+        if not args.hosts:
+            print("faultsweep: --hosts is required with a program",
+                  file=sys.stderr)
+            return 2
+        source = open(args.program).read()
+        config = load_trust_configuration(args.hosts)
+        name = args.program
+    else:
+        # Default target: the Figure 4 partition (one OT round).
+        source = ot.source(rounds=1)
+        config = ot.config()
+        name = "fig4-ot"
+    try:
+        result = split_source(source, config)
+    except (JifError, SplitError) as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    report = sweep(
+        result.split,
+        schedules=args.schedules,
+        base_seed=args.seed,
+        opt_level=args.opt_level,
+        name=name,
+    )
+    print(f"fault sweep over {name} (base seed {args.seed}):")
+    print(report.summary())
+    return 1 if report.failures else 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .reporting.table1 import render
 
@@ -156,6 +192,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hosts", required=True)
     run.add_argument("--opt-level", type=int, default=1, choices=(0, 1, 2))
     run.set_defaults(func=cmd_run)
+
+    faultsweep = sub.add_parser(
+        "faultsweep",
+        help="run seeded fault-injection schedules; verify the run "
+             "completes with the fault-free result or fails closed",
+    )
+    faultsweep.add_argument(
+        "program", nargs="?", default=None,
+        help="mini-Jif program (default: the Figure 4 OT example)",
+    )
+    faultsweep.add_argument("--hosts", help="hosts JSON file")
+    faultsweep.add_argument("--schedules", type=int, default=50)
+    faultsweep.add_argument("--seed", type=int, default=0)
+    faultsweep.add_argument("--opt-level", type=int, default=1,
+                            choices=(0, 1, 2))
+    faultsweep.set_defaults(func=cmd_faultsweep)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.set_defaults(func=cmd_table1)

@@ -2,9 +2,11 @@
 
 from .attacks import Adversary, AttackReport
 from .executor import DistributedExecutor, ExecutionResult, run_split_program
+from .faults import FaultInjector, FaultPolicy, RetryPolicy
+from .faultsweep import SweepReport, random_policy, sweep
 from .host import HaltSignal, TrustedHost
 from .ics import LocalStack
-from .network import CostModel, Message, SimNetwork
+from .network import CostModel, DeliveryTimeoutError, Message, SimNetwork
 from .singlehost import SingleHostInterpreter, run_single_host
 from .tokens import Token, TokenFactory, forged_token
 from .values import FrameID, ObjectRef, ReturnInfo
@@ -15,10 +17,17 @@ __all__ = [
     "DistributedExecutor",
     "ExecutionResult",
     "run_split_program",
+    "FaultInjector",
+    "FaultPolicy",
+    "RetryPolicy",
+    "SweepReport",
+    "random_policy",
+    "sweep",
     "HaltSignal",
     "TrustedHost",
     "LocalStack",
     "CostModel",
+    "DeliveryTimeoutError",
     "Message",
     "SimNetwork",
     "SingleHostInterpreter",

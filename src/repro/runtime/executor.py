@@ -13,6 +13,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..splitter.fragments import SplitProgram
 from ..trust import KeyRegistry
+from .faults import FaultInjector
 from .host import ExecutionState, HaltSignal, TrustedHost
 from .network import CostModel, SimNetwork
 from .values import FrameID
@@ -72,9 +73,11 @@ class DistributedExecutor:
         cost_model: Optional[CostModel] = None,
         opt_level: int = 1,
         registry: Optional[KeyRegistry] = None,
+        faults: Optional[FaultInjector] = None,
+        token_rng=None,
     ) -> None:
         self.split = split
-        self.network = SimNetwork(cost_model)
+        self.network = SimNetwork(cost_model, faults=faults)
         self.registry = registry or KeyRegistry()
         self.hosts: Dict[str, TrustedHost] = {}
         for descriptor in split.config.hosts:
@@ -84,6 +87,7 @@ class DistributedExecutor:
                 self.network,
                 self.registry,
                 opt_level=opt_level,
+                token_rng=token_rng,
             )
 
     def host(self, name: str) -> TrustedHost:
@@ -127,8 +131,16 @@ def run_split_program(
     split: SplitProgram,
     cost_model: Optional[CostModel] = None,
     opt_level: int = 1,
+    faults: Optional[FaultInjector] = None,
+    token_rng=None,
 ) -> ExecutionResult:
-    """Convenience wrapper: execute a split program and return the result."""
+    """Convenience wrapper: execute a split program and return the result.
+
+    With ``faults`` set, the run either completes with the fault-free
+    result or raises :class:`~repro.runtime.network.DeliveryTimeoutError`
+    (fail closed) — never a wrong answer.
+    """
     return DistributedExecutor(
-        split, cost_model=cost_model, opt_level=opt_level
+        split, cost_model=cost_model, opt_level=opt_level, faults=faults,
+        token_rng=token_rng,
     ).run()

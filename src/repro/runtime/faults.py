@@ -1,0 +1,175 @@
+"""Fault injection for the simulated network.
+
+The paper's runtime assumes reliable, in-order SSL channels (Section
+3.1).  This module drops that assumption in a controlled way: a
+:class:`FaultInjector` — driven entirely by a seeded RNG, so every fault
+schedule is reproducible from its seed — decides, per delivery attempt,
+whether a message is lost, duplicated, reordered, delayed, or whether
+the destination host crashes on receipt.  The reliable-delivery layer
+in :mod:`repro.runtime.network` (sequence numbers, ack/retry with
+exponential backoff, receiver-side idempotency) masks these faults or
+fails closed with :class:`~repro.runtime.network.DeliveryTimeoutError`.
+
+The fault model is fail-stop with durable state: a crashed host loses
+messages in flight but recovers its fields, frames, ICS slice, and
+duplicate-suppression table from stable storage.  Byzantine behaviour is
+a different adversary, already modelled by :mod:`repro.runtime.attacks`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+
+class FaultPolicy:
+    """Knobs for the fault injector.  All probabilities are per event.
+
+    * ``drop_prob`` — chance each transmitted copy (request, reply, or
+      control message) is lost in transit;
+    * ``duplicate_prob`` — chance a delivered message arrives twice;
+    * ``reorder_prob`` — chance a control message is inserted out of
+      order into the destination's inbox;
+    * ``jitter_max`` — extra one-way delay, uniform in [0, jitter_max];
+    * ``crash_prob`` — chance the destination host fail-stops on
+      receipt (the message is lost);
+    * ``crash_downtime`` — simulated seconds before the crashed host
+      restarts;
+    * ``max_crashes`` — total crash budget across the run (``None`` for
+      unlimited), which keeps schedules from livelocking a run;
+    * ``crashable_hosts`` — restrict crashes to these hosts (``None``
+      means any host may crash).
+    """
+
+    def __init__(
+        self,
+        drop_prob: float = 0.0,
+        duplicate_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        jitter_max: float = 0.0,
+        crash_prob: float = 0.0,
+        crash_downtime: float = 2e-3,
+        max_crashes: Optional[int] = None,
+        crashable_hosts: Optional[Iterable[str]] = None,
+    ) -> None:
+        for name, p in (
+            ("drop_prob", drop_prob),
+            ("duplicate_prob", duplicate_prob),
+            ("reorder_prob", reorder_prob),
+            ("crash_prob", crash_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.drop_prob = drop_prob
+        self.duplicate_prob = duplicate_prob
+        self.reorder_prob = reorder_prob
+        self.jitter_max = jitter_max
+        self.crash_prob = crash_prob
+        self.crash_downtime = crash_downtime
+        self.max_crashes = max_crashes
+        self.crashable_hosts = (
+            frozenset(crashable_hosts) if crashable_hosts is not None else None
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPolicy(drop={self.drop_prob:.3f}, "
+            f"dup={self.duplicate_prob:.3f}, "
+            f"reorder={self.reorder_prob:.3f}, "
+            f"jitter={self.jitter_max:.2e}, "
+            f"crash={self.crash_prob:.3f})"
+        )
+
+
+class RetryPolicy:
+    """Ack/retry parameters of the reliable-delivery layer.
+
+    The sender retransmits after ``base_timeout`` simulated seconds,
+    doubling (``backoff``) on every further attempt, and gives up —
+    failing closed — after ``max_retries`` retransmissions.
+    """
+
+    def __init__(
+        self,
+        base_timeout: float = 2e-3,
+        backoff: float = 2.0,
+        max_retries: int = 12,
+    ) -> None:
+        if base_timeout <= 0:
+            raise ValueError("base_timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.base_timeout = base_timeout
+        self.backoff = backoff
+        self.max_retries = max_retries
+
+    def timeout(self, attempt: int) -> float:
+        """Retransmission timer after the ``attempt``-th failed send."""
+        return self.base_timeout * (self.backoff ** attempt)
+
+
+class FaultInjector:
+    """Seeded source of fault decisions; owns the crash/restart state."""
+
+    def __init__(
+        self, policy: Optional[FaultPolicy] = None, seed: int = 0
+    ) -> None:
+        self.policy = policy or FaultPolicy()
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: host -> simulated time at which it comes back up.
+        self.down_until: Dict[str, float] = {}
+        self.crashes = 0
+
+    # -- per-delivery decisions ----------------------------------------------
+
+    def should_drop(self) -> bool:
+        p = self.policy.drop_prob
+        return bool(p) and self.rng.random() < p
+
+    def should_duplicate(self) -> bool:
+        p = self.policy.duplicate_prob
+        return bool(p) and self.rng.random() < p
+
+    def jitter(self) -> float:
+        j = self.policy.jitter_max
+        return self.rng.uniform(0.0, j) if j else 0.0
+
+    def reorder_slot(self, queue_len: int) -> Optional[int]:
+        """Index to insert a control message at, or None to append."""
+        p = self.policy.reorder_prob
+        if queue_len and p and self.rng.random() < p:
+            return self.rng.randrange(queue_len + 1)
+        return None
+
+    # -- crash / restart -----------------------------------------------------
+
+    def maybe_crash(self, host: str, clock: float) -> bool:
+        """Roll for a fail-stop of ``host`` at time ``clock``."""
+        policy = self.policy
+        if not policy.crash_prob:
+            return False
+        if policy.max_crashes is not None and self.crashes >= policy.max_crashes:
+            return False
+        if (
+            policy.crashable_hosts is not None
+            and host not in policy.crashable_hosts
+        ):
+            return False
+        if self.rng.random() >= policy.crash_prob:
+            return False
+        self.crashes += 1
+        self.down_until[host] = clock + policy.crash_downtime
+        return True
+
+    def is_down(self, host: str, clock: float) -> bool:
+        until = self.down_until.get(host)
+        return until is not None and clock < until
+
+    def check_restart(self, host: str, clock: float) -> bool:
+        """True exactly once per crash, when the downtime has elapsed."""
+        until = self.down_until.get(host)
+        if until is not None and clock >= until:
+            del self.down_until[host]
+            return True
+        return False

@@ -1,0 +1,191 @@
+"""Seeded fault-injection sweeps: the "never a wrong answer" check.
+
+A sweep takes one split program and runs it under many randomly drawn —
+but seed-reproducible — fault schedules.  Each schedule must end in one
+of exactly two ways:
+
+* the run **completes** with field values identical to the fault-free
+  reference run, every delivered message's data labels within the
+  receiving host's confidentiality clearance, and an empty audit log; or
+* the run **fails closed** with an explicit
+  :class:`~repro.runtime.network.DeliveryTimeoutError`.
+
+Anything else — a wrong field value, a label above the receiver's
+clearance, an unexpected exception — is recorded as a failure.  The CLI
+(``python -m repro faultsweep``) and the differential test harness both
+drive this engine.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..splitter.fragments import SplitProgram
+from .executor import ExecutionResult, run_split_program
+from .faults import FaultInjector, FaultPolicy
+from .network import DeliveryTimeoutError
+
+
+def random_policy(rng: random.Random) -> FaultPolicy:
+    """Draw one fault schedule's knobs; spans mild to fairly hostile."""
+    return FaultPolicy(
+        drop_prob=rng.uniform(0.0, 0.15),
+        duplicate_prob=rng.uniform(0.0, 0.15),
+        reorder_prob=rng.uniform(0.0, 0.3),
+        jitter_max=rng.uniform(0.0, 1e-3),
+        crash_prob=rng.uniform(0.0, 0.02),
+        crash_downtime=rng.uniform(1e-4, 4e-3),
+        max_crashes=3,
+    )
+
+
+class ScheduleOutcome:
+    """What happened under one fault schedule."""
+
+    __slots__ = ("seed", "policy", "status", "detail", "fault_counts")
+
+    def __init__(
+        self,
+        seed: int,
+        policy: FaultPolicy,
+        status: str,
+        detail: str = "",
+        fault_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.seed = seed
+        self.policy = policy
+        #: "ok" | "timeout" | "failure"
+        self.status = status
+        self.detail = detail
+        self.fault_counts = fault_counts or {}
+
+    def __repr__(self) -> str:
+        return f"ScheduleOutcome(seed={self.seed}, {self.status})"
+
+
+class SweepReport:
+    """Aggregate of a whole sweep."""
+
+    def __init__(self, reference: Dict[Tuple[str, str], object]) -> None:
+        self.reference = reference
+        self.schedules: List[ScheduleOutcome] = []
+        self.failures: List[str] = []
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.schedules if s.status == "ok")
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for s in self.schedules if s.status == "timeout")
+
+    def summary(self) -> str:
+        total = len(self.schedules)
+        faults = sum(
+            sum(s.fault_counts.values()) for s in self.schedules
+        )
+        lines = [
+            f"{total} schedules: {self.completed} completed with the "
+            f"fault-free result, {self.timeouts} failed closed (timeout), "
+            f"{len(self.failures)} FAILED; {faults} injected fault events"
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+def reference_fields(
+    split: SplitProgram, opt_level: int = 1
+) -> Dict[Tuple[str, str], object]:
+    """Field values of the fault-free run — the oracle for the sweep."""
+    outcome = run_split_program(split, opt_level=opt_level)
+    return {
+        key: outcome.field_value(*key) for key in split.fields
+    }
+
+
+def assurance_problems(split: SplitProgram, outcome: ExecutionResult) -> List[str]:
+    """Label violations among everything the network saw delivered.
+
+    Checks both the per-message instrumentation (each transmitted
+    message's data labels against the destination's confidentiality
+    clearance) and the flow log (each labeled value that became visible
+    to a host).
+    """
+    config = split.config
+    problems: List[str] = []
+    for message in outcome.network.message_log:
+        descriptor = config.host(message.dst)
+        for label in message.data_labels:
+            if not label.conf.flows_to(descriptor.conf):
+                problems.append(
+                    f"{message.kind} {message.src}->{message.dst} carried "
+                    f"{label} above C_{message.dst}"
+                )
+    for label, host in outcome.network.flow_log:
+        descriptor = config.host(host)
+        if not label.conf.flows_to(descriptor.conf):
+            problems.append(f"data labeled {label} became visible to {host}")
+    return problems
+
+
+def sweep(
+    split: SplitProgram,
+    schedules: int = 50,
+    base_seed: int = 0,
+    opt_level: int = 1,
+    policy_factory: Callable[[random.Random], FaultPolicy] = random_policy,
+    name: str = "",
+) -> SweepReport:
+    """Run ``schedules`` seeded fault schedules against ``split``."""
+    report = SweepReport(reference_fields(split, opt_level=opt_level))
+    tag = f"{name} " if name else ""
+    for index in range(schedules):
+        seed = base_seed + index
+        policy = policy_factory(random.Random(seed))
+        faults = FaultInjector(policy, seed=seed)
+        token_rng = random.Random(seed ^ 0x5EED)
+        try:
+            outcome = run_split_program(
+                split, opt_level=opt_level, faults=faults, token_rng=token_rng
+            )
+        except DeliveryTimeoutError as error:
+            report.schedules.append(
+                ScheduleOutcome(
+                    seed, policy, "timeout", str(error),
+                    {"crashes": faults.crashes},
+                )
+            )
+            continue
+        except Exception as error:  # noqa: BLE001 — any other escape is a bug
+            report.schedules.append(
+                ScheduleOutcome(seed, policy, "failure", repr(error))
+            )
+            report.failures.append(
+                f"{tag}seed={seed} {policy}: unexpected {error!r}"
+            )
+            continue
+        problems: List[str] = []
+        for key, expected in report.reference.items():
+            got = outcome.field_value(*key)
+            if got != expected:
+                problems.append(
+                    f"field {key[0]}.{key[1]} = {got!r}, expected "
+                    f"{expected!r}"
+                )
+        problems.extend(assurance_problems(split, outcome))
+        if outcome.audits:
+            problems.append(f"audit log not empty: {outcome.audits}")
+        counts = dict(outcome.network.fault_counts)
+        if problems:
+            detail = "; ".join(problems)
+            report.schedules.append(
+                ScheduleOutcome(seed, policy, "failure", detail, counts)
+            )
+            report.failures.append(f"{tag}seed={seed} {policy}: {detail}")
+        else:
+            report.schedules.append(
+                ScheduleOutcome(seed, policy, "ok", fault_counts=counts)
+            )
+    return report

@@ -5,6 +5,16 @@ splitter assigned to it, a local slice of the integrity control stack,
 and its frame copies.  Every incoming request is validated exactly as
 Figure 6 prescribes — invalid requests are ignored and logged, never
 answered — so a bad host gains nothing by fabricating messages.
+
+When the network runs its reliable-delivery protocol (fault injection
+enabled), every remote message carries an idempotency key; the host
+remembers the result of each processed key and answers retransmissions
+and duplicates from that table without re-executing their effects.  A
+re-delivered ``sync`` therefore returns the originally minted token (one
+ICS push, not two), and a re-delivered ``lgoto``/``rgoto`` does not run
+its fragment chain again.  Replays carrying a *fresh* key still fall
+through to the Figure 6 checks, where the one-shot capability discipline
+rejects them.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from .tokens import Token, TokenFactory
 from .values import ArrayRef, FrameID, ObjectRef, ReturnInfo
 
 _REJECTED = object()
+_UNSEEN = object()
 
 
 class ExecutionState:
@@ -61,13 +72,17 @@ class TrustedHost:
         network: SimNetwork,
         registry: KeyRegistry,
         opt_level: int = 1,
+        token_rng=None,
     ) -> None:
         self.name = name
         self.split = split
         self.network = network
         self.opt_level = opt_level
-        self.factory = TokenFactory(name, registry)
+        self.factory = TokenFactory(name, registry, rng=token_rng)
         self.stack = LocalStack()
+        #: idempotency table: processed msg_id -> result.  Survives a
+        #: crash-restart (fail-stop with durable state; see faults.py).
+        self._seen_requests: Dict[int, Any] = {}
         #: fields stored here: (cls, field, oid) -> value.
         self.field_store: Dict[Tuple[str, str, Optional[int]], Any] = {}
         #: arrays allocated here: oid -> element list / element label.
@@ -116,13 +131,27 @@ class TrustedHost:
     # ------------------------------------------------------------------
 
     def handle(self, message: Message) -> Any:
-        if message.src != self.name:
+        remote = message.src != self.name
+        if remote:
             self.network.charge_check()
             if message.payload.get("digest") != self.split.digest:
                 self.network.audit(
                     self.name, f"{message.kind} with mismatched program hash"
                 )
                 return _REJECTED
+            if message.msg_id is not None:
+                # Reliable-delivery idempotency: a retransmission or
+                # duplicate re-presents a processed key; answer from the
+                # table instead of re-executing the request's effects.
+                cached = self._seen_requests.get(message.msg_id, _UNSEEN)
+                if cached is not _UNSEEN:
+                    return cached
+        result = self._dispatch(message)
+        if remote and message.msg_id is not None:
+            self._seen_requests[message.msg_id] = result
+        return result
+
+    def _dispatch(self, message: Message) -> Any:
         kind = message.kind
         if kind == "getField":
             return self._handle_get_field(message)

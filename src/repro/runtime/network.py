@@ -12,12 +12,27 @@ model).  The network also keeps the books the evaluation needs:
 * a complete message log for the security-assurance instrumentation
   (tests assert no message ever carries data to a host whose
   confidentiality label cannot hold it).
+
+With a :class:`~repro.runtime.faults.FaultInjector` attached, the
+channels stop being reliable: messages may be dropped, duplicated,
+reordered, delayed, and hosts may crash and restart.  The network then
+runs a reliable-delivery protocol on top — per-channel sequence
+numbers and per-message idempotency keys, ack/retry with exponential
+backoff, receiver-side duplicate suppression — whose retransmissions
+show up in the message counts and the simulated clock.  A message that
+cannot be delivered within the retry budget raises
+:class:`DeliveryTimeoutError`: the run fails closed, never answers
+wrong.  With no injector attached every code path, count, and clock
+charge is exactly the fault-free Section 3.1 model.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter, deque
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .faults import FaultInjector, RetryPolicy
 
 #: Message kinds that transfer control (one message each).
 CONTROL_KINDS = ("rgoto", "lgoto")
@@ -49,7 +64,8 @@ class CostModel:
 class Message:
     """One network message."""
 
-    __slots__ = ("kind", "src", "dst", "payload", "data_labels")
+    __slots__ = ("kind", "src", "dst", "payload", "data_labels", "msg_id",
+                 "seq")
 
     def __init__(
         self,
@@ -58,6 +74,8 @@ class Message:
         dst: str,
         payload: Dict[str, Any],
         data_labels: Optional[List] = None,
+        msg_id: Optional[int] = None,
+        seq: Optional[int] = None,
     ) -> None:
         self.kind = kind
         self.src = src
@@ -65,15 +83,39 @@ class Message:
         self.payload = payload
         #: labels of confidential data carried (for instrumentation).
         self.data_labels = data_labels or []
+        #: idempotency key: retransmissions and duplicates share it, so
+        #: receivers can suppress re-execution (None on reliable nets).
+        self.msg_id = msg_id
+        #: per-(src, dst) channel sequence number.
+        self.seq = seq
 
     def __repr__(self) -> str:
         return f"Message({self.kind} {self.src}->{self.dst})"
 
 
+class DeliveryTimeoutError(RuntimeError):
+    """A message exhausted its retry budget: the run fails closed."""
+
+    def __init__(self, message: Message, attempts: int) -> None:
+        super().__init__(
+            f"{message.kind} {message.src}->{message.dst} undeliverable "
+            f"after {attempts} attempts; failing closed"
+        )
+        self.message_kind = message.kind
+        self.src = message.src
+        self.dst = message.dst
+        self.attempts = attempts
+
+
 class SimNetwork:
     """Message transport, accounting, and the control-message queue."""
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.cost = cost_model or CostModel()
         self.clock = 0.0
         #: time spent validating incoming requests (Section 7.3).
@@ -86,6 +128,15 @@ class SimNetwork:
         self.audit_log: List[str] = []
         #: (label, host) pairs: data with this label became visible to host.
         self.flow_log: List = []
+        #: fault injector; None restores the reliable Section 3.1 channels.
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        #: (kind, src, dst, detail) tuples for drop/retry/crash/restart/...
+        self.fault_events: List[Tuple[str, Optional[str], Optional[str], str]] = []
+        self.fault_counts: Counter = Counter()
+        self._listeners: List[Callable[..., None]] = []
+        self._msg_ids = itertools.count(1)
+        self._seq: Counter = Counter()
         self._queue: Deque[Message] = deque()
         self._handlers: Dict[str, Callable[[Message], Any]] = {}
 
@@ -128,6 +179,28 @@ class SimNetwork:
         """Record that data labeled ``label`` became visible to ``host``."""
         self.flow_log.append((label, host))
 
+    # -- fault events ------------------------------------------------------------
+
+    def on_event(self, callback: Callable[..., None]) -> None:
+        """Subscribe to fault events: callback(kind, src, dst, detail)."""
+        self._listeners.append(callback)
+
+    def _emit(
+        self, kind: str, src: Optional[str], dst: Optional[str], detail: str
+    ) -> None:
+        self.fault_events.append((kind, src, dst, detail))
+        self.fault_counts[kind] += 1
+        for callback in self._listeners:
+            callback(kind, src, dst, detail)
+
+    def _stamp(self, message: Message) -> None:
+        """Assign the idempotency key and channel sequence number."""
+        if message.msg_id is None:
+            message.msg_id = next(self._msg_ids)
+            channel = (message.src, message.dst)
+            self._seq[channel] += 1
+            message.seq = self._seq[channel]
+
     # -- synchronous round trips ----------------------------------------------------
 
     def request(self, message: Message) -> Any:
@@ -141,25 +214,183 @@ class SimNetwork:
             raise KeyError(f"unknown host {message.dst!r}")
         if message.src == message.dst:
             return handler(message)
-        self._account(message, messages=2)
-        return handler(message)
+        if self.faults is None:
+            self._account(message, messages=2)
+            return handler(message)
+        return self._deliver_reliably(message, handler, roundtrip=True)
 
     def one_way(self, message: Message, messages: int = 1) -> Any:
         """A one-message exchange (asynchronous forward at opt level 2)."""
         handler = self._handlers.get(message.dst)
         if handler is None:
             raise KeyError(f"unknown host {message.dst!r}")
-        if message.src != message.dst:
+        if message.src == message.dst:
+            return handler(message)
+        if self.faults is None:
             self._account(message, messages=messages)
-        return handler(message)
+            return handler(message)
+        # Under faults even "unacknowledged" sends ride the reliable
+        # layer: without an ack there is no way to mask a loss.
+        return self._deliver_reliably(message, handler, roundtrip=False)
+
+    def _deliver_reliably(
+        self, message: Message, handler: Callable[[Message], Any], roundtrip: bool
+    ) -> Any:
+        """Ack/retry loop for a synchronous exchange under faults."""
+        self._stamp(message)
+        attempt = 0
+        while True:
+            delivered, result = self._try_deliver(message, handler, roundtrip)
+            if delivered:
+                return result
+            # The ack never came: wait out the retransmission timer.
+            self.clock += self.retry.timeout(attempt)
+            attempt += 1
+            if attempt > self.retry.max_retries:
+                self._emit(
+                    "timeout", message.src, message.dst,
+                    f"{message.kind} #{message.msg_id} gave up after "
+                    f"{attempt} attempts",
+                )
+                raise DeliveryTimeoutError(message, attempt)
+            self._emit(
+                "retry", message.src, message.dst,
+                f"{message.kind} #{message.msg_id} attempt {attempt + 1}",
+            )
+
+    def _try_deliver(
+        self, message: Message, handler: Callable[[Message], Any], roundtrip: bool
+    ) -> Tuple[bool, Any]:
+        """One transmission attempt; (False, None) means 'no ack'."""
+        faults = self.faults
+        dst = message.dst
+        if faults.check_restart(dst, self.clock):
+            self._emit("restart", None, dst, f"{dst} back up")
+        if faults.is_down(dst, self.clock):
+            self._account(message, messages=1)
+            self._emit(
+                "drop", message.src, dst,
+                f"{message.kind} #{message.msg_id}: {dst} is down",
+            )
+            return False, None
+        if faults.maybe_crash(dst, self.clock):
+            self._account(message, messages=1)
+            self._emit(
+                "crash", None, dst,
+                f"{dst} crashed on receipt of {message.kind} "
+                f"#{message.msg_id}",
+            )
+            return False, None
+        if faults.should_drop():
+            self._account(message, messages=1)
+            self._emit(
+                "drop", message.src, dst,
+                f"{message.kind} #{message.msg_id} lost in transit",
+            )
+            return False, None
+        self.clock += faults.jitter()
+        if roundtrip and faults.should_drop():
+            # The request arrived and was processed, but the reply was
+            # lost: the receiver's duplicate suppression makes the
+            # retransmission harmless.
+            self._account(message, messages=2)
+            handler(message)
+            self._emit(
+                "drop", dst, message.src,
+                f"reply to {message.kind} #{message.msg_id} lost",
+            )
+            return False, None
+        self._account(message, messages=2 if roundtrip else 1)
+        result = handler(message)
+        if faults.should_duplicate():
+            self.counts["messages"] += 1
+            self._emit(
+                "duplicate", message.src, dst,
+                f"{message.kind} #{message.msg_id} delivered twice",
+            )
+            handler(message)
+        return True, result
 
     # -- control transfers -------------------------------------------------------
 
     def post(self, message: Message) -> None:
         """Queue a control transfer (rgoto/lgoto) for the executor loop."""
-        if message.src != message.dst:
+        if message.src == message.dst:
+            self._queue.append(message)
+            return
+        if self.faults is None:
             self._account(message, messages=1)
-        self._queue.append(message)
+            self._queue.append(message)
+            return
+        self._stamp(message)
+        attempt = 0
+        while True:
+            if self._try_post(message):
+                return
+            self.clock += self.retry.timeout(attempt)
+            attempt += 1
+            if attempt > self.retry.max_retries:
+                self._emit(
+                    "timeout", message.src, message.dst,
+                    f"{message.kind} #{message.msg_id} gave up after "
+                    f"{attempt} attempts",
+                )
+                raise DeliveryTimeoutError(message, attempt)
+            self._emit(
+                "retry", message.src, message.dst,
+                f"{message.kind} #{message.msg_id} attempt {attempt + 1}",
+            )
+
+    def _try_post(self, message: Message) -> bool:
+        """One transmission attempt into the destination's inbox."""
+        faults = self.faults
+        dst = message.dst
+        if faults.check_restart(dst, self.clock):
+            self._emit("restart", None, dst, f"{dst} back up")
+        if faults.is_down(dst, self.clock):
+            self._account(message, messages=1)
+            self._emit(
+                "drop", message.src, dst,
+                f"{message.kind} #{message.msg_id}: {dst} is down",
+            )
+            return False
+        if faults.maybe_crash(dst, self.clock):
+            self._account(message, messages=1)
+            self._emit(
+                "crash", None, dst,
+                f"{dst} crashed on receipt of {message.kind} "
+                f"#{message.msg_id}",
+            )
+            return False
+        if faults.should_drop():
+            self._account(message, messages=1)
+            self._emit(
+                "drop", message.src, dst,
+                f"{message.kind} #{message.msg_id} lost in transit",
+            )
+            return False
+        self.clock += faults.jitter()
+        self._account(message, messages=1)
+        self._enqueue(message)
+        if faults.should_duplicate():
+            self.counts["messages"] += 1
+            self._emit(
+                "duplicate", message.src, dst,
+                f"{message.kind} #{message.msg_id} delivered twice",
+            )
+            self._enqueue(message)
+        return True
+
+    def _enqueue(self, message: Message) -> None:
+        slot = self.faults.reorder_slot(len(self._queue))
+        if slot is None:
+            self._queue.append(message)
+        else:
+            self._emit(
+                "reorder", message.src, message.dst,
+                f"{message.kind} #{message.msg_id} inserted at slot {slot}",
+            )
+            self._queue.insert(slot, message)
 
     def pop_control(self) -> Optional[Message]:
         return self._queue.popleft() if self._queue else None

@@ -3,13 +3,22 @@
 Used for the paper's hand-coded reference implementations (OT-h and
 Tax-h, Section 7.3).  An RMI invocation is a synchronous request/reply —
 two messages, exactly how the paper accounts for Java RMI calls.
+
+Like the split-program hosts, RMI servers are *at-most-once* under the
+reliable-delivery protocol: when the network stamps messages with
+idempotency keys (fault injection enabled), a retransmitted or
+duplicated invocation is answered from the server's result table
+instead of re-running the method.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
+from .faults import FaultInjector
 from .network import CostModel, Message, SimNetwork
+
+_UNSEEN = object()
 
 
 class RMIServer:
@@ -19,6 +28,7 @@ class RMIServer:
         self.name = name
         self.network = network
         self._methods: Dict[str, Callable] = {}
+        self._seen_calls: Dict[int, Any] = {}
         network.register(name, self._dispatch)
 
     def expose(self, name: str, func: Callable) -> None:
@@ -32,17 +42,29 @@ class RMIServer:
     def _dispatch(self, message: Message) -> Any:
         if message.kind != "rmi":
             raise ValueError(f"RMI host got {message.kind!r}")
-        if message.src != self.name:
+        remote = message.src != self.name
+        if remote:
             self.network.charge_check()
+            if message.msg_id is not None:
+                cached = self._seen_calls.get(message.msg_id, _UNSEEN)
+                if cached is not _UNSEEN:
+                    return cached
         method = self._methods[message.payload["method"]]
-        return method(*message.payload["args"])
+        result = method(*message.payload["args"])
+        if remote and message.msg_id is not None:
+            self._seen_calls[message.msg_id] = result
+        return result
 
 
 class RMISystem:
     """A set of RMI hosts sharing one network (and its accounting)."""
 
-    def __init__(self, cost_model: Optional[CostModel] = None) -> None:
-        self.network = SimNetwork(cost_model)
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.network = SimNetwork(cost_model, faults=faults)
         self.hosts: Dict[str, RMIServer] = {}
 
     def host(self, name: str) -> RMIServer:

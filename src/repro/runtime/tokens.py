@@ -60,18 +60,30 @@ class Token:
 
 
 class TokenFactory:
-    """Mints and verifies tokens for one host."""
+    """Mints and verifies tokens for one host.
 
-    def __init__(self, host: str, registry: KeyRegistry) -> None:
+    Nonces come from ``os.urandom`` by default; pass a seeded
+    ``random.Random`` as ``rng`` for fully deterministic runs (used by
+    the differential fault-injection harness, where bit-reproducible
+    executions make failures replayable from a seed).
+    """
+
+    def __init__(self, host: str, registry: KeyRegistry, rng=None) -> None:
         self.host = host
         self._registry = registry
+        self._rng = rng
         registry.register(f"host:{host}")
         #: number of MAC computations performed (for the Section 7.3
         #: hashing-overhead accounting).
         self.hash_count = 0
 
+    def _nonce(self) -> bytes:
+        if self._rng is not None:
+            return self._rng.getrandbits(64).to_bytes(8, "big")
+        return os.urandom(8)
+
     def mint(self, frame: FrameID, entry: str) -> Token:
-        nonce = os.urandom(8)
+        nonce = self._nonce()
         token = Token(self.host, frame, entry, nonce, b"")
         token.mac = self._registry.sign(f"host:{self.host}", token.message())
         self.hash_count += 1

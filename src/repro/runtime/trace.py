@@ -5,6 +5,11 @@ fragment execution and control transfer is recorded — enough to replay
 the Figure 4 walkthrough ("T sync's e2 ... passes t1 to e5 on B via
 rgoto; there, Bob's host computes n and returns control via lgoto")
 as a checked sequence of events.
+
+Under fault injection the timeline also carries the reliability layer's
+events: ``drop``, ``retry``, ``duplicate``, ``reorder``, ``crash``,
+``restart``, and ``timeout``, interleaved with the messages whose
+delivery they perturbed.
 """
 
 from __future__ import annotations
@@ -65,6 +70,11 @@ class Tracer:
 
         network._account = traced_account
 
+        def on_fault(kind, src, dst, detail):
+            self.events.append(TraceEvent(kind, src, dst, detail=detail))
+
+        network.on_event(on_fault)
+
     # -- queries ------------------------------------------------------------
 
     def kinds(self) -> List[str]:
@@ -89,9 +99,9 @@ class Tracer:
         return -1
 
 
-def traced_run(split, opt_level: int = 1):
+def traced_run(split, opt_level: int = 1, faults=None):
     """Run a split program with tracing; returns (outcome, tracer)."""
-    executor = DistributedExecutor(split, opt_level=opt_level)
+    executor = DistributedExecutor(split, opt_level=opt_level, faults=faults)
     tracer = Tracer(executor)
     outcome = executor.run()
     return outcome, tracer

@@ -1,9 +1,15 @@
 """Property-based end-to-end testing on randomly generated programs.
 
-A generator produces label-correct-by-construction mini-Jif programs
-over a two-level lattice (P = public, Alice-trusted; S = Alice-secret),
-with assignments, arithmetic, nested ifs and bounded loops.  For every
-generated program we assert the pipeline's two central properties:
+The shared seeded generator (``tests/progen.py``) produces
+label-correct-by-construction mini-Jif programs over a two-level
+lattice (P = public, Alice-trusted; S = Alice-secret), with
+assignments, arithmetic, nested ifs and bounded loops.  Hypothesis
+drives the *seed* only — ``generate_program(seed)`` is deterministic —
+so a falsifying example is a single integer that reproduces the exact
+failing program; every assertion message carries it too.
+
+For every generated program we assert the pipeline's two central
+properties:
 
 * **transparency** — the partitioned execution computes exactly the
   field values of the single-host reference interpreter;
@@ -11,201 +17,42 @@ generated program we assert the pipeline's two central properties:
   confidentiality clearance cannot hold it.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.runtime import run_single_host, run_split_program
 from repro.splitter import split_source
-from repro.trust import HostDescriptor, TrustConfiguration
 
-# Two security levels: P ⊑ S.
-P_VARS = ["p0", "p1", "p2"]
-S_VARS = ["s0", "s1", "s2"]
-P_FIELDS = ["fp0", "fp1"]
-S_FIELDS = ["fs0", "fs1"]
+from tests.progen import P_FIELDS, S_FIELDS, config, generate_program
 
-P_LABEL = "{?:Alice}"
-S_LABEL = "{Alice:; ?:Alice}"
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
 
 
-def config():
-    return TrustConfiguration(
-        [
-            HostDescriptor.of("A", "{Alice:}", "{?:Alice}"),
-            HostDescriptor.of("B", "{Bob:}", "{?:Bob}"),
-            HostDescriptor.of("T", "{Alice:; Bob:}", "{?:Alice}"),
-        ]
-    )
-
-
-def atoms(level: str):
-    """Operand strategies at or below ``level``."""
-    names = P_VARS + P_FIELDS
-    if level == "S":
-        names = names + S_VARS + S_FIELDS
-    return st.one_of(
-        st.integers(min_value=0, max_value=9).map(str),
-        st.sampled_from(names),
-    )
-
-
-def exprs(level: str):
-    """Small arithmetic expressions at ``level``."""
-    ops = st.sampled_from(["+", "-", "*"])
-    return st.one_of(
-        atoms(level),
-        st.tuples(atoms(level), ops, atoms(level)).map(
-            lambda t: f"({t[0]} {t[1]} {t[2]})"
-        ),
-        st.tuples(atoms(level), ops, atoms(level), ops, atoms(level)).map(
-            lambda t: f"({t[0]} {t[1]} {t[2]} {t[3]} {t[4]})"
-        ),
-    )
-
-
-def guards(level: str):
-    relation = st.sampled_from(["<", "<=", "==", "!=", ">", ">="])
-    return st.tuples(exprs(level), relation, exprs(level)).map(
-        lambda t: f"{t[0]} {t[1]} {t[2]}"
-    )
-
-
-def assignments(pc_level: str):
-    """An assignment whose target is writable under ``pc_level``."""
-    if pc_level == "S":
-        targets = S_VARS + S_FIELDS
-    else:
-        targets = P_VARS + P_FIELDS + S_VARS + S_FIELDS
-
-    def build(target, expr_s, expr_p):
-        level = "S" if target in S_VARS + S_FIELDS else "P"
-        expr = expr_s if level == "S" else expr_p
-        return f"{target} = {expr};"
-
-    return st.builds(
-        build, st.sampled_from(targets), exprs("S"), exprs("P")
-    )
-
-
-_loop_counter = [0]
-
-
-def statements(pc_level: str, depth: int):
-    """A recursive statement strategy."""
-    if depth <= 0:
-        return assignments(pc_level)
-
-    def make_if(guard_level, guard, body, else_body):
-        inner = "S" if (guard_level == "S" or pc_level == "S") else "P"
-        # Bodies were generated for level S (always safe); wrap.
-        then_text = " ".join(body)
-        else_text = " ".join(else_body)
-        if else_text:
-            return f"if ({guard}) {{ {then_text} }} else {{ {else_text} }}"
-        return f"if ({guard}) {{ {then_text} }}"
-
-    def if_stmt():
-        return st.sampled_from(["P", "S"]).flatmap(
-            lambda guard_level: st.builds(
-                make_if,
-                st.just(guard_level),
-                guards(guard_level),
-                st.lists(
-                    statements(
-                        "S" if guard_level == "S" or pc_level == "S" else "P",
-                        depth - 1,
-                    ),
-                    min_size=1,
-                    max_size=2,
-                ),
-                st.lists(
-                    statements(
-                        "S" if guard_level == "S" or pc_level == "S" else "P",
-                        depth - 1,
-                    ),
-                    min_size=0,
-                    max_size=2,
-                ),
-            )
-        )
-
-    def make_loop(body, bound):
-        index = _loop_counter[0] = _loop_counter[0] + 1
-        var = f"loop{index}"
-        # The counter lives at the enclosing pc's level, or its own
-        # declaration would be an illegal flow under a secret guard.
-        label = S_LABEL if pc_level == "S" else P_LABEL
-        body_text = " ".join(body)
-        return (
-            f"int{label} {var} = 0; "
-            f"while ({var} < {bound}) {{ {body_text} {var} = {var} + 1; }}"
-        )
-
-    def loop_stmt():
-        return st.builds(
-            make_loop,
-            st.lists(statements(pc_level, depth - 1), min_size=1, max_size=2),
-            st.integers(min_value=1, max_value=3),
-        )
-
-    return st.one_of(
-        assignments(pc_level),
-        assignments(pc_level),
-        if_stmt(),
-        loop_stmt(),
-    )
-
-
-@st.composite
-def programs(draw):
-    body = draw(st.lists(statements("P", depth=2), min_size=2, max_size=4))
-    decls = []
-    for name in P_VARS:
-        decls.append(f"int{P_LABEL} {name} = {draw(st.integers(0, 9))};")
-    for name in S_VARS:
-        decls.append(f"int{S_LABEL} {name} = {draw(st.integers(0, 9))};")
-    fields = []
-    for name in P_FIELDS:
-        fields.append(f"  int{P_LABEL} {name};")
-    for name in S_FIELDS:
-        fields.append(f"  int{S_LABEL} {name};")
-    field_text = "\n".join(fields)
-    body_text = "\n    ".join(decls + body)
-    return f"""
-class R {{
-{field_text}
-
-  void main{{?:Alice}}() {{
-    {body_text}
-  }}
-}}
-"""
-
-
-@given(programs())
+@given(seeds)
 @settings(
     max_examples=12,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-def test_split_execution_equals_oracle(source):
+def test_split_execution_equals_oracle(seed):
+    source = generate_program(seed)
     result = split_source(source, config())
     outcome = run_split_program(result.split)
     oracle = run_single_host(source)
     for cls, field in [("R", f) for f in P_FIELDS + S_FIELDS]:
         assert outcome.field_value(cls, field) == oracle.fields.get(
             (cls, field, None), 0
-        ), source
+        ), f"seed={seed}\n{source}"
 
 
-@given(programs())
+@given(seeds)
 @settings(
     max_examples=12,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-def test_no_flow_violates_clearance(source):
+def test_no_flow_violates_clearance(seed):
+    source = generate_program(seed)
     trust = config()
     result = split_source(source, trust)
     for opt_level in (0, 1, 2):
@@ -213,19 +60,20 @@ def test_no_flow_violates_clearance(source):
         for label, host in outcome.network.flow_log:
             descriptor = trust.host(host)
             assert label.conf.flows_to(descriptor.conf), (
-                f"{label} leaked to {host}\n{source}"
+                f"{label} leaked to {host} (seed={seed})\n{source}"
             )
-        assert outcome.audits == []
+        assert outcome.audits == [], f"seed={seed}\n{source}"
 
 
-@given(programs())
+@given(seeds)
 @settings(
     max_examples=8,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-def test_secret_fields_never_placed_off_alice_hosts(source):
+def test_secret_fields_never_placed_off_alice_hosts(seed):
+    source = generate_program(seed)
     result = split_source(source, config())
     for (cls, field), placement in result.split.fields.items():
         if field.startswith("fs"):
-            assert placement.host in ("A", "T"), source
+            assert placement.host in ("A", "T"), f"seed={seed}\n{source}"
