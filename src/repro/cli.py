@@ -152,6 +152,23 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .reporting import bench
+
+    if args.quick:
+        seeds = bench.QUICK_SEEDS
+    elif args.seeds is not None:
+        seeds = args.seeds
+    else:
+        seeds = bench.DEFAULT_SEEDS
+    return bench.main(
+        seeds=seeds,
+        out=args.out,
+        baseline=args.compare,
+        tolerance=args.tolerance,
+    )
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .reporting.table1 import render
 
@@ -208,6 +225,23 @@ def build_parser() -> argparse.ArgumentParser:
     faultsweep.add_argument("--opt-level", type=int, default=1,
                             choices=(0, 1, 2))
     faultsweep.set_defaults(func=cmd_faultsweep)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the Table 1 workloads and a seeded progen sweep, "
+             "staged as parse/typecheck/split/execute",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="short sweep for CI smoke runs")
+    bench.add_argument("--seeds", type=int, default=None,
+                       help="progen sweep size (default 200)")
+    bench.add_argument("--out", help="write the JSON report to this path")
+    bench.add_argument("--compare",
+                       help="baseline JSON (e.g. BENCH_PR2.json) to gate "
+                            "wall-clock regressions against")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed slowdown fraction vs the baseline")
+    bench.set_defaults(func=cmd_bench)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.set_defaults(func=cmd_table1)

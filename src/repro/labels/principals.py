@@ -6,32 +6,44 @@ the paper).  Principals may delegate to one another through the *acts-for*
 hierarchy; the hierarchy is reflexive and transitive.  The Jif/split paper
 does not exercise acts-for, but full Jif provides it, so the hierarchy is
 implemented here and honoured by the label ordering.
+
+The hierarchy is **append-only and versioned**: delegations can be
+declared but never retracted, and every mutation bumps a version stamp.
+The label layer memoizes delegation-dependent lattice operations keyed
+by ``hierarchy.cache_key`` (a process-unique serial plus the version),
+which is what makes those caches sound — a result computed before a new
+delegation can never be served after it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Set
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from .cache import MISS
 
 
 class Principal:
     """A named principal.
 
     Principals are interned: constructing two principals with the same
-    name yields the same object, so identity and equality coincide.
+    name yields the same object, so identity and equality coincide and
+    the hash is computed exactly once.
     """
 
     _interned: Dict[str, "Principal"] = {}
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
     def __new__(cls, name: str) -> "Principal":
-        if not name or not name.replace("_", "a").isalnum():
-            raise ValueError(f"invalid principal name: {name!r}")
         existing = cls._interned.get(name)
         if existing is not None:
             return existing
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid principal name: {name!r}")
         principal = super().__new__(cls)
         object.__setattr__(principal, "name", name)
+        object.__setattr__(principal, "_hash", hash(name))
         cls._interned[name] = principal
         return principal
 
@@ -45,9 +57,11 @@ class Principal:
         return self.name
 
     def __hash__(self) -> int:
-        return hash(self.name)
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, Principal):
             return self.name == other.name
         return NotImplemented
@@ -70,35 +84,61 @@ class ActsForHierarchy:
 
     An empty hierarchy (no delegations) is the model used throughout the
     paper's examples and benchmarks.
+
+    The hierarchy is append-only: :meth:`add` declares a new delegation
+    and bumps :attr:`version`; there is deliberately no removal.  Query
+    results are memoized per instance and invalidated on mutation, and
+    :attr:`cache_key` identifies the exact (instance, version) state for
+    external caches in the label layer.
     """
+
+    _serials = itertools.count(1)
 
     def __init__(self, edges: Iterable[tuple] = ()) -> None:
         self._superiors: Dict[Principal, Set[Principal]] = {}
+        #: process-unique identity, never reused even after GC.
+        self._serial = next(self._serials)
+        self._version = 0
+        #: (serial, version) — embed this in any cache key derived from
+        #: a delegation query.
+        self.cache_key: Tuple[int, int] = (self._serial, 0)
+        self._acts_cache: Dict[Tuple[Principal, Principal], bool] = {}
+        self._sup_cache: Dict[Principal, FrozenSet[Principal]] = {}
         for actor, target in edges:
             self.add(actor, target)
 
+    @property
+    def version(self) -> int:
+        """Mutation count; bumped by every :meth:`add`."""
+        return self._version
+
     def add(self, actor: Principal, target: Principal) -> None:
-        """Declare that ``actor`` acts for ``target``."""
+        """Declare that ``actor`` acts for ``target`` (append-only)."""
         self._superiors.setdefault(target, set()).add(actor)
+        self._version += 1
+        self.cache_key = (self._serial, self._version)
+        self._acts_cache.clear()
+        self._sup_cache.clear()
 
     def acts_for(self, actor: Principal, target: Principal) -> bool:
         """True when ``actor`` can act for ``target`` (reflexive, transitive)."""
-        if actor == target:
+        if actor is target or actor == target:
             return True
-        seen: Set[Principal] = set()
-        frontier = [target]
-        while frontier:
-            current = frontier.pop()
-            for superior in self._superiors.get(current, ()):
-                if superior == actor:
-                    return True
-                if superior not in seen:
-                    seen.add(superior)
-                    frontier.append(superior)
-        return False
+        if not self._superiors:
+            return False
+        key = (actor, target)
+        cached = self._acts_cache.get(key, MISS)
+        if cached is not MISS:
+            return cached
+        result = actor in self.superiors_of(target)
+        self._acts_cache[key] = result
+        return result
 
     def superiors_of(self, target: Principal) -> FrozenSet[Principal]:
         """All principals that act for ``target``, including itself."""
+        cached = self._sup_cache.get(target)
+        if cached is not None:
+            return cached
         result: Set[Principal] = {target}
         frontier = [target]
         while frontier:
@@ -107,7 +147,9 @@ class ActsForHierarchy:
                 if superior not in result:
                     result.add(superior)
                     frontier.append(superior)
-        return frozenset(result)
+        frozen = frozenset(result)
+        self._sup_cache[target] = frozen
+        return frozen
 
     def __iter__(self) -> Iterator[tuple]:
         for target, actors in sorted(self._superiors.items()):

@@ -22,24 +22,30 @@ class Parser:
 
     # -- token helpers -------------------------------------------------------
 
+    # The token list always ends with the EOF token and ``_next`` never
+    # advances past it, so ``self._index`` is always in range — the
+    # no-lookahead accessors index directly.
+
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self._index + offset, len(self._tokens) - 1)
-        return self._tokens[index]
+        if offset:
+            index = min(self._index + offset, len(self._tokens) - 1)
+            return self._tokens[index]
+        return self._tokens[self._index]
 
     def _next(self) -> Token:
-        token = self._peek()
+        token = self._tokens[self._index]
         if token.kind != EOF_KIND:
             self._index += 1
         return token
 
     def _at(self, kind: str) -> bool:
-        return self._peek().kind == kind
+        return self._tokens[self._index].kind == kind
 
     def _at_keyword(self, word: str) -> bool:
-        return self._peek().is_keyword(word)
+        return self._tokens[self._index].is_keyword(word)
 
     def _expect(self, kind: str) -> Token:
-        token = self._peek()
+        token = self._tokens[self._index]
         if token.kind != kind:
             raise ParseError(
                 f"expected {kind!r}, found {token.text or token.kind!r}",

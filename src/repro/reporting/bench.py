@@ -1,0 +1,201 @@
+"""The benchmark trajectory: end-to-end wall-clock for the Table 1
+workloads plus a seeded random-program sweep.
+
+Each workload is staged as **parse → typecheck → split → execute** and
+timed per stage with ``time.perf_counter``, so successive PRs can see
+*where* the time goes, not just that it moved.  The stages are
+incremental — each consumes the previous stage's artifact (AST, checked
+program, split program) — so ``end_to_end_seconds`` is the cost of one
+true pipeline pass with no double-counted parsing.
+
+``python -m repro bench`` writes the results as JSON (see
+``BENCH_PR2.json`` at the repo root for the checked-in baseline) and can
+compare a fresh run against a checked-in baseline with ``--compare``,
+failing when end-to-end wall-clock regresses beyond ``--tolerance``.
+
+Simulated-time results and message counts are recorded alongside the
+wall-clock numbers: they must stay bit-identical across performance PRs
+(the hard invariant of the hot-path layer), and keeping them in the same
+JSON makes drift visible in benchmark diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+from .. import progen
+from ..lang.parser import parse_program
+from ..lang.typecheck import check_program
+from ..runtime import DistributedExecutor
+from ..splitter import split_program
+from ..workloads import listcompare, ot, tax, work
+
+#: Stage keys, in pipeline order.
+STAGES = ("parse", "typecheck", "split", "execute")
+
+#: Default number of seeded random programs in the progen sweep.
+DEFAULT_SEEDS = 200
+#: Seeds used by ``--quick`` (CI smoke / regression gate).
+QUICK_SEEDS = 50
+
+
+def _cache_stats() -> Dict[str, Dict[str, int]]:
+    """Label-layer cache counters, or empty when the cache layer is absent
+    (lets this harness measure pre-optimization checkouts unchanged)."""
+    try:
+        from ..labels.cache import stats
+    except ImportError:
+        return {}
+    return stats()
+
+
+def _reset_cache_stats() -> None:
+    try:
+        from ..labels.cache import reset_stats
+    except ImportError:
+        return
+    reset_stats()
+
+
+def time_workload(source: str, config) -> Dict[str, object]:
+    """Run one workload through all four stages, timing each."""
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    program = parse_program(source)
+    timings["parse"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    checked = check_program(program, config.hierarchy)
+    timings["typecheck"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = split_program(checked, config)
+    timings["split"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    outcome = DistributedExecutor(result.split).run()
+    timings["execute"] = time.perf_counter() - start
+
+    timings["total"] = sum(timings[stage] for stage in STAGES)
+    return {
+        "seconds": timings,
+        # Invariants: these must not move in a wall-clock-only PR.
+        "messages": outcome.counts.get("total_messages", 0),
+        "simulated_seconds": round(outcome.elapsed, 6),
+    }
+
+
+def run_bench(seeds: int = DEFAULT_SEEDS, quiet: bool = False) -> Dict:
+    """The full benchmark suite: Table 1 workloads + progen sweep."""
+    # Untimed warmup: pay one-time costs (imports, regex compilation,
+    # intern-table population) before the clock starts, so a --quick
+    # run is comparable against a scaled full-length baseline.
+    time_workload(progen.generate_program(0), progen.config())
+    _reset_cache_stats()
+    report: Dict[str, object] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "progen_seeds": seeds,
+    }
+    workloads: Dict[str, Dict] = {}
+    for name, module in (
+        ("List", listcompare),
+        ("OT", ot),
+        ("Tax", tax),
+        ("Work", work),
+    ):
+        if not quiet:
+            print(f"bench: {name} ...", file=sys.stderr)
+        workloads[name] = time_workload(module.source(), module.config())
+    report["workloads"] = workloads
+
+    if not quiet:
+        print(f"bench: progen sweep ({seeds} seeds) ...", file=sys.stderr)
+    sweep_seconds = {stage: 0.0 for stage in STAGES}
+    sweep_seconds["total"] = 0.0
+    sweep_messages = 0
+    config = progen.config()
+    for seed in range(seeds):
+        outcome = time_workload(progen.generate_program(seed), config)
+        for stage, value in outcome["seconds"].items():
+            sweep_seconds[stage] += value
+        sweep_messages += outcome["messages"]
+    report["progen"] = {
+        "seconds": sweep_seconds,
+        "messages": sweep_messages,
+    }
+
+    end_to_end = sweep_seconds["total"] + sum(
+        w["seconds"]["total"] for w in workloads.values()
+    )
+    report["end_to_end_seconds"] = end_to_end
+    report["cache"] = _cache_stats()
+    # Run invariants: observable behaviour no optimization may change.
+    # Only seed-count-independent facts belong here, so a --quick run
+    # can be checked bit-for-bit against a full-length baseline.
+    report["invariants"] = {
+        name: {
+            "messages": w["messages"],
+            "simulated_seconds": w["simulated_seconds"],
+        }
+        for name, w in workloads.items()
+    }
+    return report
+
+
+def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
+    """Regression gate: fail when the fresh run is slower than the
+    checked-in numbers by more than ``tolerance`` (a fraction).
+
+    The reference is scaled by the progen seed count so ``--quick`` runs
+    can be compared against a full-length baseline.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    reference = baseline.get("current", baseline)
+    ref_seeds = reference.get("progen_seeds", DEFAULT_SEEDS)
+    ref_workloads = sum(
+        w["seconds"]["total"] for w in reference["workloads"].values()
+    )
+    ref_sweep = reference["progen"]["seconds"]["total"]
+    scaled_ref = ref_workloads + ref_sweep * (
+        report["progen_seeds"] / ref_seeds
+    )
+    measured = report["end_to_end_seconds"]
+    ratio = measured / scaled_ref if scaled_ref else float("inf")
+    print(
+        f"bench: end-to-end {measured:.3f}s vs baseline "
+        f"{scaled_ref:.3f}s (x{ratio:.2f}, tolerance x{1 + tolerance:.2f})"
+    )
+    if ratio > 1 + tolerance:
+        print(
+            "bench: REGRESSION — wall-clock exceeded the baseline "
+            f"by {100 * (ratio - 1):.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(
+    seeds: int = DEFAULT_SEEDS,
+    out: Optional[str] = None,
+    baseline: Optional[str] = None,
+    tolerance: float = 0.25,
+) -> int:
+    report = run_bench(seeds=seeds)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"bench: wrote {out}")
+    else:
+        print(text)
+    print(f"bench: end-to-end {report['end_to_end_seconds']:.3f}s")
+    if baseline:
+        return compare(report, baseline, tolerance)
+    return 0

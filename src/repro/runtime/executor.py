@@ -20,6 +20,9 @@ from .values import FrameID
 
 _MAX_STEPS = 2_000_000
 
+#: Default for ExecutionResult accessors: raise on a missing name.
+_RAISE = object()
+
 
 class ExecutionResult:
     """Everything observable about one distributed run."""
@@ -46,22 +49,44 @@ class ExecutionResult:
     def audits(self):
         return self.network.audit_log
 
-    def field_value(self, cls: str, field: str, oid: Optional[int] = None) -> Any:
+    def field_value(
+        self,
+        cls: str,
+        field: str,
+        oid: Optional[int] = None,
+        default: Any = _RAISE,
+    ) -> Any:
+        """The stored value of a field (from whichever host holds it).
+
+        Raises :class:`KeyError` when no host stores the field; pass
+        ``default=`` to get a fallback value instead.
+        """
         for host in self.hosts.values():
             key = (cls, field, oid)
             if key in host.field_store:
                 return host.field_store[key]
+        if default is not _RAISE:
+            return default
         raise KeyError(f"field {cls}.{field} not found on any host")
 
-    def var_value(self, frame: FrameID, var: str) -> Any:
-        """The value of a main-frame variable (from any host's copy)."""
-        for host in self.hosts.values():
-            if frame in host.frames and var in host.frames[frame]["vars"]:
-                return host.frames[frame]["vars"][var]
-        return None
+    def var_value(self, frame: FrameID, var: str, default: Any = _RAISE) -> Any:
+        """The value of a frame variable (from any host's copy).
 
-    def main_var(self, var: str) -> Any:
-        return self.var_value(self.main_frame, var)
+        Raises :class:`KeyError` when no host's frame copy binds the
+        variable — a silent ``None`` here has historically masked typos
+        in test assertions.  Pass ``default=`` to get a fallback value
+        instead.
+        """
+        for host in self.hosts.values():
+            frame_copy = host.frames.get(frame)
+            if frame_copy is not None and var in frame_copy["vars"]:
+                return frame_copy["vars"][var]
+        if default is not _RAISE:
+            return default
+        raise KeyError(f"variable {var!r} not bound in any copy of {frame!r}")
+
+    def main_var(self, var: str, default: Any = _RAISE) -> Any:
+        return self.var_value(self.main_frame, var, default)
 
 
 class DistributedExecutor:

@@ -38,6 +38,7 @@ from ..splitter.fragments import (
 )
 from ..splitter import ir
 from ..trust import KeyRegistry
+from .compiler import CompiledFragment, compilation_enabled, compile_split
 from .ics import LocalStack
 from .network import Message, SimNetwork
 from .tokens import Token, TokenFactory
@@ -99,6 +100,10 @@ class TrustedHost:
         self.entry_acl: Dict[str, frozenset] = {
             entry: split.entry_invokers(entry) for entry in self.entries
         }
+        #: fragments lowered to closures (shared across hosts via the
+        #: split program); None when REPRO_COMPILE=0 selects the
+        #: tree-walking interpreter.
+        self._compiled = compile_split(split) if compilation_enabled() else None
         self._init_fields()
         network.register(name, self.handle)
 
@@ -112,14 +117,18 @@ class TrustedHost:
     # ------------------------------------------------------------------
 
     def frame(self, fid: FrameID) -> Dict[str, Any]:
-        if fid not in self.frames:
-            self.frames[fid] = {"vars": {}, "ret": None}
-        return self.frames[fid]
+        frame = self.frames.get(fid)
+        if frame is None:
+            frame = self.frames[fid] = {"vars": {}, "ret": None}
+        return frame
 
     def var(self, fid: FrameID, name: str) -> Any:
-        frame = self.frame(fid)
-        if name in frame["vars"]:
-            return frame["vars"][name]
+        frame = self.frames.get(fid)
+        if frame is None:
+            frame = self.frames[fid] = {"vars": {}, "ret": None}
+        value = frame["vars"].get(name, _UNSEEN)
+        if value is not _UNSEEN:
+            return value
         plan = self.split.methods[fid.method_key]
         return plan.default_value(name)
 
@@ -376,7 +385,59 @@ class TrustedHost:
     # ------------------------------------------------------------------
 
     def run_chain(self, state: ExecutionState) -> None:
-        """Execute fragments locally until control leaves this host."""
+        """Execute fragments locally until control leaves this host.
+
+        Uses the compiled fragment bodies when available (the default);
+        ``REPRO_COMPILE=0`` selects the tree-walking interpreter below.
+        Both paths charge identical simulated ops, so message counts and
+        simulated times never depend on the mode.
+        """
+        compiled = self._compiled
+        if compiled is None:
+            return self._run_chain_interpreted(state)
+        charge_ops = self.network.charge_ops
+        heat = compiled.heat
+        while True:
+            entry = state.entry
+            fragment = compiled.get(entry)
+            if fragment is None:
+                # Tiered execution: interpret a fragment's first run,
+                # compile it the moment it turns out to be re-entered
+                # (loops, repeated calls).  One-shot fragments — the
+                # common case in straight-line code — never pay closure
+                # construction.
+                count = heat.get(entry, 0) + 1
+                if count >= 2:
+                    fragment = compiled[entry] = CompiledFragment(
+                        self.split.fragments[entry]
+                    )
+                else:
+                    heat[entry] = count
+                    source = self.split.fragments[entry]
+                    assert source.host == self.name, (
+                        f"{self.name} asked to run {entry}"
+                    )
+                    charge_ops(len(source.ops) + 1)
+                    for op in source.ops:
+                        self._run_op(op, state)
+                    next_state = self._run_terminator(source, state)
+                    if next_state is None:
+                        return
+                    state = next_state
+                    continue
+            assert fragment.host == self.name, (
+                f"{self.name} asked to run {entry}"
+            )
+            charge_ops(fragment.charge)
+            for op_fn in fragment.ops:
+                op_fn(self, state)
+            next_state = fragment.terminator(self, state)
+            if next_state is None:
+                return
+            state = next_state
+
+    def _run_chain_interpreted(self, state: ExecutionState) -> None:
+        """The original interpreter loop (REPRO_COMPILE=0)."""
         while True:
             fragment = self.split.fragments[state.entry]
             assert fragment.host == self.name, (
@@ -589,6 +650,16 @@ class TrustedHost:
             param: self.eval(expr, state.frame)
             for param, expr in terminator.args
         }
+        return self._finish_call(terminator, state, arg_values)
+
+    def _finish_call(
+        self,
+        terminator: TermCall,
+        state: ExecutionState,
+        arg_values: Dict[str, Any],
+    ) -> Optional[ExecutionState]:
+        """Everything after argument evaluation (shared with the
+        compiled terminator closures)."""
         # Sync the continuation on this host (a local ICS push).
         cont_token = self._do_sync(
             terminator.cont_entry, state.frame, state.token
@@ -635,6 +706,13 @@ class TrustedHost:
             if terminator.expr is not None
             else None
         )
+        return self._finish_return(state, value)
+
+    def _finish_return(
+        self, state: ExecutionState, value: Any
+    ) -> Optional[ExecutionState]:
+        """Everything after evaluating the return expression (shared
+        with the compiled terminator closures)."""
         token = state.token
         if token is None:
             raise HaltSignal()

@@ -68,11 +68,13 @@ class FrameID:
     """Identity of one method activation, shared across the hosts that
     hold pieces of its frame (Section 5: FrameID objects)."""
 
-    __slots__ = ("method_key", "fid")
+    __slots__ = ("method_key", "fid", "_hash")
 
     def __init__(self, method_key) -> None:
         self.method_key = method_key
         self.fid = next(_frame_ids)
+        # Frames key every variable access; hash once at creation.
+        self._hash = hash(self.fid)
 
     def __repr__(self) -> str:
         cls, name = self.method_key
@@ -84,7 +86,7 @@ class FrameID:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self.fid)
+        return self._hash
 
 
 class ReturnInfo:

@@ -11,6 +11,7 @@ consumers (never relayed through hosts not permitted to see it).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from . import ir
@@ -122,24 +123,34 @@ def insert_forwards(
     needed: Dict[str, Dict[str, FrozenSet[str]]] = {
         entry: {} for entry in fragments
     }
-    changed = True
-    while changed:
-        changed = False
-        for entry, fragment in fragments.items():
-            fact = facts[entry]
-            merged: Dict[str, Set[str]] = {}
-            for successor in fact.successors:
-                succ_fact = facts[successor]
-                succ_host = fragments[successor].host
-                for var in succ_fact.upward_uses:
-                    merged.setdefault(var, set()).add(succ_host)
-                for var, hosts in needed[successor].items():
-                    if var not in succ_fact.defs:
-                        merged.setdefault(var, set()).update(hosts)
-            frozen = {var: frozenset(hosts) for var, hosts in merged.items()}
-            if frozen != needed[entry]:
-                needed[entry] = frozen
-                changed = True
+    # Backward dataflow to a fixpoint, worklist-driven: when an entry's
+    # out-set changes, only its predecessors can be affected.
+    predecessors: Dict[str, List[str]] = {}
+    for entry, fact in facts.items():
+        for successor in fact.successors:
+            predecessors.setdefault(successor, []).append(entry)
+    pending = deque(fragments)
+    queued = set(fragments)
+    while pending:
+        entry = pending.popleft()
+        queued.discard(entry)
+        fact = facts[entry]
+        merged: Dict[str, Set[str]] = {}
+        for successor in fact.successors:
+            succ_fact = facts[successor]
+            succ_host = fragments[successor].host
+            for var in succ_fact.upward_uses:
+                merged.setdefault(var, set()).add(succ_host)
+            for var, hosts in needed[successor].items():
+                if var not in succ_fact.defs:
+                    merged.setdefault(var, set()).update(hosts)
+        frozen = {var: frozenset(hosts) for var, hosts in merged.items()}
+        if frozen != needed[entry]:
+            needed[entry] = frozen
+            for predecessor in predecessors.get(entry, ()):
+                if predecessor not in queued:
+                    queued.add(predecessor)
+                    pending.append(predecessor)
     # Call results materialize at the callee's *return*, not at the
     # continuation: record where each return value is consumed so the
     # returning host forwards it directly (Section 5.2).  Arguments are

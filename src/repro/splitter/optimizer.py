@@ -74,12 +74,71 @@ class Optimizer:
         self.candidates = candidates
         self.assignment = Assignment()
         self._field_sites: Dict[Tuple[str, str], List[ir.IRStmt]] = {}
+        # -- precomputed invariants of the placement search ---------------
+        # The search loops below re-ask the same structural questions for
+        # every (statement, host) pair on every sweep; everything that
+        # does not depend on the current assignment is derived once here.
+        #: method -> statements in program order (walk_stmts is a tree
+        #: walk; the search needs it dozens of times per method).
+        self._method_stmts: Dict = {
+            key: list(ir.walk_stmts(method.body))
+            for key, method in program.methods.items()
+        }
+        #: method -> CFG edges with loop weights (identical every sweep).
+        self._method_edges: Dict = {
+            key: build_cfg_edges(method.body)
+            for key, method in program.methods.items()
+        }
+        #: method -> symmetric weighted adjacency {uid: [(uid, weight)]}
+        #: (what _refine_with_cfg_edges consults every sweep).
+        self._method_neighbors: Dict = {}
+        for key, edges in self._method_edges.items():
+            neighbors: Dict[int, List[Tuple[int, float]]] = {
+                s.info.uid: [] for s in self._method_stmts[key]
+            }
+            for a, b, depth in edges:
+                weight = _loop_weight(depth)
+                neighbors[a].append((b, weight))
+                neighbors[b].append((a, weight))
+            self._method_neighbors[key] = neighbors
+        #: statement uid -> candidate host names / touched field keys /
+        #: loop weight.
+        self._stmt_hosts: Dict[int, List[str]] = {}
+        self._stmt_fields: Dict[int, Tuple[Tuple[str, str], ...]] = {}
+        self._stmt_weight: Dict[int, float] = {}
+        #: uid -> constant (host, 0.0) cost rows for statements that
+        #: touch no fields and make no calls — their local cost can
+        #: never change, so the refinement pass reuses one list forever.
+        self._zero_cost_rows: Dict[int, List[Tuple[str, float]]] = {}
+        for stmts in self._method_stmts.values():
+            for stmt in stmts:
+                uid = stmt.info.uid
+                hosts = candidates.statement_hosts(stmt)
+                self._stmt_hosts[uid] = hosts
+                self._stmt_fields[uid] = tuple(
+                    stmt.info.used_fields | stmt.info.defined_fields
+                )
+                self._stmt_weight[uid] = _loop_weight(stmt.info.loop_depth)
+                if not self._stmt_fields[uid] and not isinstance(
+                    stmt, ir.CallStmt
+                ):
+                    self._zero_cost_rows[uid] = [(h, 0.0) for h in hosts]
+        #: (host, host) -> link cost, flattened out of TrustConfiguration.
+        names = config.host_names
+        self._link: Dict[Tuple[str, str], float] = {
+            (a, b): config.link_cost(a, b) for a in names for b in names
+        }
+        #: (field key, host) -> preference weight (pure in its inputs).
+        self._preference_cache: Dict[Tuple[Tuple[str, str], str], float] = {}
+        #: (stmt uid, host) -> local cost, valid for one field placement;
+        #: bumping _field_generation invalidates it (see _place_fields).
+        self._cost_cache: Dict[Tuple[int, str], float] = {}
         self._collect_field_sites()
 
     def _collect_field_sites(self) -> None:
-        for method in self.program.methods.values():
-            for stmt in ir.walk_stmts(method.body):
-                for key in stmt.info.used_fields | stmt.info.defined_fields:
+        for stmts in self._method_stmts.values():
+            for stmt in stmts:
+                for key in self._stmt_fields[stmt.info.uid]:
                     self._field_sites.setdefault(key, []).append(stmt)
 
     # -- driver ----------------------------------------------------------------
@@ -113,15 +172,14 @@ class Optimizer:
         """Estimated message cost of the current complete assignment,
         including preference weights on field placements."""
         cost = 0.0
-        for method in self.program.methods.values():
-            for stmt in ir.walk_stmts(method.body):
-                host = self.assignment.statements[stmt.info.uid]
+        statements = self.assignment.statements
+        link = self._link
+        for key, stmts in self._method_stmts.items():
+            for stmt in stmts:
+                host = statements[stmt.info.uid]
                 cost += self._statement_local_cost(stmt, host)
-            for a, b, depth in build_cfg_edges(method.body):
-                cost += self.config.link_cost(
-                    self.assignment.statements[a],
-                    self.assignment.statements[b],
-                ) * _loop_weight(depth)
+            for a, b, depth in self._method_edges[key]:
+                cost += link[statements[a], statements[b]] * _loop_weight(depth)
         for key in self.candidates.fields:
             host = self.assignment.fields[key]
             cost += (
@@ -132,13 +190,13 @@ class Optimizer:
     def _gravity_host(self) -> Optional[str]:
         """The host that constraint-forced statements gravitate to."""
         votes: Dict[str, float] = {}
-        for method in self.program.methods.values():
-            for stmt in ir.walk_stmts(method.body):
-                hosts = self.candidates.statement_hosts(stmt)
+        for stmts in self._method_stmts.values():
+            for stmt in stmts:
+                hosts = self._stmt_hosts[stmt.info.uid]
                 if len(hosts) == 1:
-                    votes[hosts[0]] = votes.get(hosts[0], 0.0) + _loop_weight(
-                        stmt.info.loop_depth
-                    )
+                    votes[hosts[0]] = votes.get(hosts[0], 0.0) + self._stmt_weight[
+                        stmt.info.uid
+                    ]
         if not votes:
             return None
         return max(sorted(votes), key=votes.get)
@@ -146,6 +204,9 @@ class Optimizer:
     # -- field placement ----------------------------------------------------------
 
     def _field_preference(self, key: Tuple[str, str], host: str) -> float:
+        cached = self._preference_cache.get((key, host))
+        if cached is not None:
+            return cached
         info = self.checked.fields[key]
         owners = [p.name for p in info.label.conf.owners()]
         if not owners:
@@ -153,6 +214,7 @@ class Optimizer:
         weight = 1.0
         for owner in owners:
             weight *= self.config.preference(owner, host)
+        self._preference_cache[(key, host)] = weight
         return weight
 
     def _pinned_host(self, key: Tuple[str, str]) -> Optional[str]:
@@ -186,7 +248,7 @@ class Optimizer:
                 overlap = sum(
                     1
                     for stmt in sites
-                    if host.name in self.candidates.statement_hosts(stmt)
+                    if host.name in self._stmt_hosts[stmt.info.uid]
                 )
                 score = (
                     _PREFERENCE_BASELINE - overlap
@@ -194,8 +256,10 @@ class Optimizer:
                 scores.append((score, host.name))
             scores.sort()
             self.assignment.fields[key] = scores[0][1]
+        self._cost_cache.clear()
 
     def _place_fields(self) -> None:
+        link = self._link
         for key, hosts in self.candidates.fields.items():
             pin = self._pinned_host(key)
             if pin is not None:
@@ -209,8 +273,8 @@ class Optimizer:
                     stmt_host = self.assignment.statements[stmt.info.uid]
                     access_cost += (
                         _FIELD_ACCESS_MESSAGES
-                        * self.config.link_cost(stmt_host, host.name)
-                        * _loop_weight(stmt.info.loop_depth)
+                        * link[stmt_host, host.name]
+                        * self._stmt_weight[stmt.info.uid]
                     )
                 score = (
                     access_cost + _PREFERENCE_BASELINE
@@ -218,36 +282,50 @@ class Optimizer:
                 scores.append((score, host.name))
             scores.sort()
             self.assignment.fields[key] = scores[0][1]
+        # Field placements feed statement-local costs; drop stale memos.
+        self._cost_cache.clear()
 
     # -- statement assignment ---------------------------------------------------------
 
     def _statement_local_cost(self, stmt: ir.IRStmt, host: str) -> float:
-        """Remote-field-access cost of running ``stmt`` on ``host``."""
+        """Remote-field-access cost of running ``stmt`` on ``host``.
+
+        Memoized per (statement, host) while the field placement stands —
+        ``_place_fields`` clears the memo.  Call statements also depend
+        on the callee's (mutable) entry host, so they are never cached.
+        """
+        uid = stmt.info.uid
+        is_call = isinstance(stmt, ir.CallStmt)
+        field_keys = self._stmt_fields[uid]
+        if not is_call:
+            if not field_keys:
+                return 0.0
+            cached = self._cost_cache.get((uid, host))
+            if cached is not None:
+                return cached
         cost = 0.0
-        weight = _loop_weight(stmt.info.loop_depth)
-        for key in stmt.info.used_fields | stmt.info.defined_fields:
-            field_host = self.assignment.fields[key]
-            cost += (
-                _FIELD_ACCESS_MESSAGES
-                * self.config.link_cost(host, field_host)
-                * weight
-            )
-        if isinstance(stmt, ir.CallStmt):
-            callee = self.program.methods[(stmt.cls, stmt.method)]
-            entry_host = self._method_entry_host(callee)
+        weight = self._stmt_weight[uid]
+        link = self._link
+        fields = self.assignment.fields
+        for key in field_keys:
+            cost += _FIELD_ACCESS_MESSAGES * link[host, fields[key]] * weight
+        if is_call:
+            callee_key = (stmt.cls, stmt.method)
+            entry_host = self._method_entry_host(callee_key)
             if entry_host is not None:
                 # A call costs a transfer there and a transfer back.
-                cost += 2 * self.config.link_cost(host, entry_host) * weight
+                cost += 2 * link[host, entry_host] * weight
+        else:
+            self._cost_cache[(uid, host)] = cost
         return cost
 
-    def _method_entry_host(self, method: ir.IRMethod) -> Optional[str]:
-        for stmt in ir.walk_stmts(method.body):
+    def _method_entry_host(self, method_key) -> Optional[str]:
+        for stmt in self._method_stmts[method_key]:
             return self.assignment.statements.get(stmt.info.uid)
         return None
 
     def _assign_statements(self) -> None:
-        for method in self.program.methods.values():
-            chain = list(ir.walk_stmts(method.body))
+        for chain in self._method_stmts.values():
             if not chain:
                 continue
             self._assign_chain(chain)
@@ -259,30 +337,49 @@ class Optimizer:
         loop-back edges; this pass re-chooses each statement's host given
         its true control-flow neighbors until stable (it is what parks a
         loop guard next to the host it must sync each iteration)."""
-        for method in self.program.methods.values():
-            stmts = {s.info.uid: s for s in ir.walk_stmts(method.body)}
-            neighbors: Dict[int, List[Tuple[int, float]]] = {
-                uid: [] for uid in stmts
-            }
-            for a, b, depth in build_cfg_edges(method.body):
-                weight = _loop_weight(depth)
-                neighbors[a].append((b, weight))
-                neighbors[b].append((a, weight))
+        link = self._link
+        statements = self.assignment.statements
+        for key, method_stmts in self._method_stmts.items():
+            stmts = {s.info.uid: s for s in method_stmts}
+            neighbors = self._method_neighbors[key]
+            # Non-call local costs depend only on the (fixed) field
+            # placement, so hoist them out of the sweep loop; call
+            # statements track the callee's moving entry host and are
+            # re-costed every sweep.
+            local_costs: Dict[int, List[Tuple[str, float]]] = {}
+            calls: Dict[int, ir.CallStmt] = {}
+            zero_rows = self._zero_cost_rows
+            for uid, stmt in stmts.items():
+                if isinstance(stmt, ir.CallStmt):
+                    calls[uid] = stmt
+                elif uid in zero_rows:
+                    local_costs[uid] = zero_rows[uid]
+                else:
+                    local_costs[uid] = [
+                        (host, self._statement_local_cost(stmt, host))
+                        for host in self._stmt_hosts[uid]
+                    ]
             for _ in range(sweeps):
                 changed = False
                 for uid, stmt in stmts.items():
+                    if uid in calls:
+                        candidates = [
+                            (host, self._statement_local_cost(stmt, host))
+                            for host in self._stmt_hosts[uid]
+                        ]
+                    else:
+                        candidates = local_costs[uid]
                     best_host = None
                     best_cost = None
-                    for host in self.candidates.statement_hosts(stmt):
-                        cost = self._statement_local_cost(stmt, host)
+                    for host, local in candidates:
+                        cost = local
                         for other_uid, weight in neighbors[uid]:
-                            other_host = self.assignment.statements[other_uid]
-                            cost += self.config.link_cost(host, other_host) * weight
+                            cost += link[host, statements[other_uid]] * weight
                         if best_cost is None or cost < best_cost:
                             best_cost = cost
                             best_host = host
-                    if best_host != self.assignment.statements[uid]:
-                        self.assignment.statements[uid] = best_host
+                    if best_host != statements[uid]:
+                        statements[uid] = best_host
                         changed = True
                 if not changed:
                     break
@@ -292,15 +389,16 @@ class Optimizer:
         min_g [cost(i-1, g) + transfer(g, h) · weight(i)]."""
         costs: List[Dict[str, float]] = []
         back: List[Dict[str, Optional[str]]] = []
+        link = self._link
         for index, stmt in enumerate(chain):
-            hosts = self.candidates.statement_hosts(stmt)
+            hosts = self._stmt_hosts[stmt.info.uid]
             if not hosts:
                 raise SplitError(
                     f"statement at {stmt.info.pos} has no candidate hosts"
                 )
             row: Dict[str, float] = {}
             pointers: Dict[str, Optional[str]] = {}
-            weight = _loop_weight(stmt.info.loop_depth)
+            weight = self._stmt_weight[stmt.info.uid]
             for host in hosts:
                 local = self._statement_local_cost(stmt, host)
                 if index == 0:
@@ -310,9 +408,7 @@ class Optimizer:
                     best_prev = None
                     best_cost = None
                     for prev_host, prev_cost in costs[-1].items():
-                        transfer = (
-                            self.config.link_cost(prev_host, host) * weight
-                        )
+                        transfer = link[prev_host, host] * weight
                         total = prev_cost + transfer + local
                         if best_cost is None or total < best_cost:
                             best_cost = total

@@ -373,6 +373,10 @@ class Translator:
     def _compute_entry_integrity(self, key: Tuple[str, str]) -> None:
         """I_e over the local closure of each entry."""
         items = list(self._walk_items(self._method_seqs[key]))
+        # The closures of different entries overlap heavily; each item's
+        # own integrity is loop-invariant, so compute it once.
+        own_cache: Dict[int, IntegLabel] = {}
+        local_succ_cache: Dict[int, List[SegItem]] = {}
         for item in items:
             integ = IntegLabel.untrusted()
             seen = set()
@@ -382,8 +386,16 @@ class Translator:
                 if current.entry in seen:
                     continue
                 seen.add(current.entry)
-                integ = integ.meet(self._own_integ(current))
-                frontier.extend(self._local_successors(current))
+                own = own_cache.get(id(current))
+                if own is None:
+                    own = own_cache[id(current)] = self._own_integ(current)
+                integ = integ.meet(own)
+                successors = local_succ_cache.get(id(current))
+                if successors is None:
+                    successors = local_succ_cache[id(current)] = (
+                        self._local_successors(current)
+                    )
+                frontier.extend(successors)
             self._entry_integ[item.entry] = integ
             self._entry_pc[item.entry] = self._item_pc(item)
 

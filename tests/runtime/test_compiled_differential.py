@@ -1,0 +1,136 @@
+"""Differential tests: compiled fragment bodies ≡ the interpreter.
+
+``TrustedHost.run_chain`` normally tiers into compiled closures
+(``repro.runtime.compiler``); with ``REPRO_COMPILE=0`` it stays on the
+per-op ``_run_op``/``_run_terminator`` interpreter forever.  Both modes
+must produce bit-identical observable behaviour: message counts,
+simulated network time, audits, frame variables, and field stores.
+"""
+
+import pytest
+
+from repro import progen
+from repro.runtime import DistributedExecutor
+from repro.splitter import split_source
+from repro.workloads import listcompare, ot, tax, work
+
+from tests.programs import OT_SOURCE, SIMPLE_SOURCE, config_abt, single_host_config
+
+
+def observables(outcome):
+    """Everything a run exposes, in comparable form.
+
+    Object/array ids and frame serials come from process-global
+    counters, so two runs of the same program never share raw ids;
+    renumber them in order of first appearance (execution order is
+    deterministic, so matching runs renumber identically).
+    """
+    from repro.runtime.values import ArrayRef, ObjectRef
+
+    remap = {}
+
+    def oid_of(raw):
+        if raw not in remap:
+            remap[raw] = len(remap)
+        return remap[raw]
+
+    def norm(value):
+        if isinstance(value, ObjectRef):
+            return ("obj", value.cls, oid_of(value.oid))
+        if isinstance(value, ArrayRef):
+            return ("arr", oid_of(value.oid), value.length, value.host)
+        return value
+
+    fields = {
+        name: {
+            (cls, field, None if oid is None else oid_of(oid)): norm(value)
+            for (cls, field, oid), value in host.field_store.items()
+        }
+        for name, host in outcome.hosts.items()
+    }
+    frames = {
+        name: [
+            (
+                fid.method_key,
+                {var: norm(value) for var, value in frame["vars"].items()},
+            )
+            for fid, frame in sorted(
+                host.frames.items(), key=lambda kv: kv[0].fid
+            )
+        ]
+        for name, host in outcome.hosts.items()
+    }
+    return {
+        "counts": outcome.counts,
+        "elapsed": outcome.elapsed,
+        "audits": list(outcome.audits),
+        "fields": fields,
+        "frames": frames,
+    }
+
+
+def run_both(source, config, monkeypatch):
+    """One split, executed compiled and interpreted."""
+    result = split_source(source, config)
+    compiled = DistributedExecutor(result.split).run()
+    monkeypatch.setenv("REPRO_COMPILE", "0")
+    try:
+        interpreted = DistributedExecutor(result.split).run()
+    finally:
+        monkeypatch.delenv("REPRO_COMPILE")
+    return observables(compiled), observables(interpreted)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize(
+        "source,config",
+        [
+            (SIMPLE_SOURCE, single_host_config()),
+            (OT_SOURCE, config_abt()),
+            (listcompare.source(8), listcompare.config()),
+            (ot.source(rounds=2), ot.config()),
+            (tax.source(), tax.config()),
+            (work.source(rounds=12), work.config()),
+        ],
+        ids=["simple", "ot-test", "list", "ot", "tax", "work"],
+    )
+    def test_workload_identical(self, source, config, monkeypatch):
+        compiled, interpreted = run_both(source, config, monkeypatch)
+        assert compiled == interpreted
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("seed", range(0, 40, 2))
+    def test_progen_identical(self, seed, monkeypatch):
+        source = progen.generate_program(seed)
+        compiled, interpreted = run_both(
+            source, progen.config(), monkeypatch
+        )
+        assert compiled == interpreted
+
+    def test_flag_actually_disables_compilation(self, monkeypatch):
+        """Guard the guard: REPRO_COMPILE=0 must leave hosts compiler-free,
+        or the differential above compares compiled against compiled."""
+        result = split_source(OT_SOURCE, config_abt())
+        executor = DistributedExecutor(result.split)
+        assert all(
+            host._compiled is not None for host in executor.hosts.values()
+        )
+        monkeypatch.setenv("REPRO_COMPILE", "0")
+        plain = DistributedExecutor(result.split)
+        assert all(
+            host._compiled is None for host in plain.hosts.values()
+        )
+
+    def test_tiering_reexecutes_hot_fragments_compiled(self):
+        """Loops re-enter their fragments, so a looping workload must
+        actually populate the compiled-fragment cache (the differential
+        would vacuously pass if tiering never promoted anything)."""
+        result = split_source(work.source(rounds=12), work.config())
+        executor = DistributedExecutor(result.split)
+        executor.run()
+        compiled_entries = set()
+        for host in executor.hosts.values():
+            if host._compiled is not None:
+                compiled_entries.update(host._compiled.fragments)
+        assert compiled_entries, "no fragment was ever promoted to compiled"

@@ -54,7 +54,10 @@ class TestLifecycle:
         assert outcome.audits == []
         with pytest.raises(KeyError):
             outcome.field_value("OTExample", "nothing")
-        assert outcome.main_var("no_such_var") is None
+        assert outcome.field_value("OTExample", "nothing", default=7) == 7
+        with pytest.raises(KeyError):
+            outcome.main_var("no_such_var")
+        assert outcome.main_var("no_such_var", default=None) is None
 
     def test_frames_are_distributed(self):
         result = split_source(OT_SOURCE, config_abt())
