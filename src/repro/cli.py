@@ -7,6 +7,8 @@ Usage (also via ``python -m repro``)::
     python -m repro run program.jif --hosts hosts.json [--opt-level N]
     python -m repro faultsweep [program.jif --hosts hosts.json]
                                [--schedules N] [--seed S]
+                               [--crash-points [--crash-mode MODE]
+                                [--per-point K]]
     python -m repro table1
     python -m repro fig4
 
@@ -119,7 +121,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_faultsweep(args: argparse.Namespace) -> int:
-    from .runtime.faultsweep import sweep
+    from .runtime.faultsweep import crash_point_sweep, sweep
     from .workloads import ot
 
     if args.program:
@@ -127,29 +129,55 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
             print("faultsweep: --hosts is required with a program",
                   file=sys.stderr)
             return 2
-        source = open(args.program).read()
-        config = load_trust_configuration(args.hosts)
-        name = args.program
+        targets = [(args.program,
+                    open(args.program).read(),
+                    load_trust_configuration(args.hosts))]
     else:
         # Default target: the Figure 4 partition (one OT round).
-        source = ot.source(rounds=1)
-        config = ot.config()
-        name = "fig4-ot"
-    try:
-        result = split_source(source, config)
-    except (JifError, SplitError) as error:
-        print(f"REJECTED: {error}", file=sys.stderr)
-        return 1
-    report = sweep(
-        result.split,
-        schedules=args.schedules,
-        base_seed=args.seed,
-        opt_level=args.opt_level,
-        name=name,
-    )
-    print(f"fault sweep over {name} (base seed {args.seed}):")
-    print(report.summary())
-    return 1 if report.failures else 0
+        targets = [("fig4-ot", ot.source(rounds=1), ot.config())]
+        if args.crash_points:
+            # The crash-point sweep is deterministic per target, so it
+            # is cheap enough to also cover the other Table 1 workloads
+            # (at reduced sizes — boundary coverage, not load).
+            from .workloads import listcompare, medical, tax, work
+
+            targets.extend([
+                ("tax", tax.source(records=3), tax.config()),
+                ("work", work.source(rounds=2, inner=2), work.config()),
+                ("listcompare", listcompare.source(elements=3),
+                 listcompare.config()),
+                ("medical", medical.source(patients=3), medical.config()),
+            ])
+    exit_code = 0
+    for name, source, config in targets:
+        try:
+            result = split_source(source, config)
+        except (JifError, SplitError) as error:
+            print(f"REJECTED: {error}", file=sys.stderr)
+            return 1
+        if args.crash_points:
+            report = crash_point_sweep(
+                result.split,
+                opt_level=args.opt_level,
+                per_point=args.per_point,
+                crash_mode=args.crash_mode,
+                name=name,
+            )
+            print(f"crash-point sweep over {name} "
+                  f"(mode {args.crash_mode}):")
+        else:
+            report = sweep(
+                result.split,
+                schedules=args.schedules,
+                base_seed=args.seed,
+                opt_level=args.opt_level,
+                name=name,
+            )
+            print(f"fault sweep over {name} (base seed {args.seed}):")
+        print(report.summary())
+        if report.failures:
+            exit_code = 1
+    return exit_code
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -224,6 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
     faultsweep.add_argument("--seed", type=int, default=0)
     faultsweep.add_argument("--opt-level", type=int, default=1,
                             choices=(0, 1, 2))
+    faultsweep.add_argument(
+        "--crash-points", action="store_true",
+        help="instead of random schedules, crash each host at each "
+             "message-kind receipt boundary and verify recovery is "
+             "bit-identical to the fault-free run",
+    )
+    faultsweep.add_argument(
+        "--crash-mode", choices=("durable", "volatile"), default="volatile",
+        help="what a crash destroys: 'volatile' wipes everything but "
+             "the checkpointed store and recovers via WAL replay",
+    )
+    faultsweep.add_argument(
+        "--per-point", type=int, default=2,
+        help="receipt indices sampled per (host, kind) crash point",
+    )
     faultsweep.set_defaults(func=cmd_faultsweep)
 
     bench = sub.add_parser(

@@ -1,12 +1,25 @@
 """The distributed runtime (Section 5): hosts, tokens, ICS, network."""
 
 from .attacks import Adversary, AttackReport
+from .checkpoint import Checkpoint, CheckpointTamperError, DurableStore
 from .executor import DistributedExecutor, ExecutionResult, run_split_program
-from .faults import FaultInjector, FaultPolicy, RetryPolicy
-from .faultsweep import SweepReport, random_policy, sweep
+from .faults import CrashPointInjector, FaultInjector, FaultPolicy, RetryPolicy
+from .faultsweep import (
+    CrashSweepReport,
+    SweepReport,
+    crash_point_sweep,
+    random_policy,
+    sweep,
+)
 from .host import HaltSignal, TrustedHost
 from .ics import LocalStack
-from .network import CostModel, DeliveryTimeoutError, Message, SimNetwork
+from .network import (
+    CostModel,
+    DeliveryTimeoutError,
+    Message,
+    SecurityAbort,
+    SimNetwork,
+)
 from .singlehost import SingleHostInterpreter, run_single_host
 from .tokens import Token, TokenFactory, forged_token
 from .values import FrameID, ObjectRef, ReturnInfo
@@ -14,13 +27,19 @@ from .values import FrameID, ObjectRef, ReturnInfo
 __all__ = [
     "Adversary",
     "AttackReport",
+    "Checkpoint",
+    "CheckpointTamperError",
+    "DurableStore",
     "DistributedExecutor",
     "ExecutionResult",
     "run_split_program",
+    "CrashPointInjector",
     "FaultInjector",
     "FaultPolicy",
     "RetryPolicy",
+    "CrashSweepReport",
     "SweepReport",
+    "crash_point_sweep",
     "random_policy",
     "sweep",
     "HaltSignal",
@@ -29,6 +48,7 @@ __all__ = [
     "CostModel",
     "DeliveryTimeoutError",
     "Message",
+    "SecurityAbort",
     "SimNetwork",
     "SingleHostInterpreter",
     "run_single_host",

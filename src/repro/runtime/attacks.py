@@ -8,18 +8,30 @@ hosts, and it cannot mint the capability tokens good hosts sign.
 The :class:`Adversary` drives every attack the paper's dynamic checks
 must stop (Figure 6): illegal field reads/writes, rgoto/sync to
 privileged entry points, forged and replayed capabilities, mismatched
-program hashes, and low-integrity data forwards.  Each attempt reports
-whether the good host rejected it.
+program hashes, and low-integrity data forwards — plus the
+crash-recovery protocol's attack surface: forged checkpoint seals,
+rolled-back checkpoint replays, and fabricated recovery announcements
+for live hosts.  Each attempt reports whether the good host rejected
+it.
+
+Creating an :class:`Adversary` switches the network's quarantine layer
+on: a detected violation no longer just returns ``_REJECTED`` — it
+raises :class:`~repro.runtime.network.SecurityAbort` and blacklists the
+bad host, which is exactly the fail-closed unwinding the executor needs
+instead of a stall.  The attack helpers catch the abort and record it
+as a rejection.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+import os
+from typing import Any, Callable, List, Optional
 
 from ..splitter.fragments import SplitProgram
+from .checkpoint import Checkpoint, CheckpointTamperError
 from .executor import DistributedExecutor
-from .host import _REJECTED
-from .network import Message
+from .host import _REJECTED, TrustedHost
+from .network import Message, SecurityAbort
 from .tokens import Token, forged_token
 from .values import FrameID
 
@@ -50,6 +62,9 @@ class Adversary:
         self.reports: List[AttackReport] = []
         #: capabilities observed in transit to the bad host.
         self.captured_tokens: List[Token] = []
+        # Once an adversary is in play, detections escalate: reject,
+        # blacklist, and unwind via SecurityAbort.
+        self.network.quarantine_enabled = True
 
     # -- reconnaissance ---------------------------------------------------------
 
@@ -68,10 +83,28 @@ class Adversary:
         return self.captured_tokens
 
     def _note(self, name: str, outcome: Any, detail: str = "") -> AttackReport:
-        rejected = outcome is _REJECTED or outcome is None or outcome is False
+        rejected = (
+            outcome is _REJECTED
+            or outcome is None
+            or outcome is False
+            or isinstance(outcome, (SecurityAbort, CheckpointTamperError))
+        )
         report = AttackReport(name, rejected, detail)
         self.reports.append(report)
         return report
+
+    def _request(self, message: Message) -> Any:
+        """Send an attack message; a SecurityAbort counts as rejection.
+
+        With quarantine on, the victim's detection raises instead of
+        returning ``_REJECTED`` — and once the bad host is blacklisted,
+        even *reaching* a good host raises.  Either way the attack
+        failed, so return the abort for :meth:`_note` to record.
+        """
+        try:
+            return self.network.request(message)
+        except SecurityAbort as abort:
+            return abort
 
     def _payload(self, **kwargs: Any) -> dict:
         payload = {"digest": self.split.digest}
@@ -83,7 +116,7 @@ class Adversary:
     def try_get_field(self, cls: str, field: str) -> AttackReport:
         """Request a field the bad host is not cleared to read."""
         placement = self.split.fields[(cls, field)]
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "getField",
                 self.bad_host,
@@ -96,7 +129,7 @@ class Adversary:
     def try_set_field(self, cls: str, field: str, value: Any) -> AttackReport:
         """Corrupt a field whose integrity the bad host lacks."""
         placement = self.split.fields[(cls, field)]
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "setField",
                 self.bad_host,
@@ -114,7 +147,7 @@ class Adversary:
         control checks deny the operation')."""
         fragment = self.split.fragments[entry]
         frame = frame or FrameID(fragment.method_key)
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "rgoto",
                 self.bad_host,
@@ -127,7 +160,7 @@ class Adversary:
     def try_sync(self, entry: str) -> AttackReport:
         """Ask a good host to mint a capability the bad host may not have."""
         fragment = self.split.fragments[entry]
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "sync",
                 self.bad_host,
@@ -147,7 +180,7 @@ class Adversary:
         """Present a token with a fabricated MAC."""
         fragment = self.split.fragments[entry]
         token = forged_token(FrameID(fragment.method_key), entry, fragment.host)
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "lgoto",
                 self.bad_host,
@@ -159,7 +192,7 @@ class Adversary:
 
     def try_replay(self, token: Token) -> AttackReport:
         """Replay a previously consumed capability (one-shot check)."""
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "lgoto",
                 self.bad_host,
@@ -172,7 +205,7 @@ class Adversary:
     def try_wrong_program(self, cls: str, field: str) -> AttackReport:
         """Speak for a different partitioning (Section 8's hash check)."""
         placement = self.split.fields[(cls, field)]
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "getField",
                 self.bad_host,
@@ -188,7 +221,7 @@ class Adversary:
     ) -> AttackReport:
         """Forward corrupt data into a trusted frame variable."""
         frame = FrameID(method_key)
-        outcome = self.network.request(
+        outcome = self._request(
             Message(
                 "forward",
                 self.bad_host,
@@ -197,6 +230,116 @@ class Adversary:
             )
         )
         return self._note(f"forward {var} to {target_host}", outcome)
+
+    # -- recovery-protocol attacks --------------------------------------------------
+
+    def _force_recovery(
+        self, host: TrustedHost, restore: Callable[[], None]
+    ) -> Any:
+        """Crash ``host`` onto tampered durable storage and watch it
+        refuse to come back up.
+
+        The attack *succeeds* only if the host recovers from the
+        tampered storage without noticing.  On detection the genuine
+        storage is put back and the victim recovered cleanly, so later
+        attacks (and the program, if still running) see a healthy host.
+        """
+        host.crash_wipe()
+        try:
+            host.recover()
+        except (SecurityAbort, CheckpointTamperError) as abort:
+            restore()
+            host.crash_wipe()
+            host.recover()
+            return abort
+        return True
+
+    def try_forged_checkpoint(self, victim: str) -> AttackReport:
+        """Swap in a checkpoint sealed with a fabricated MAC.
+
+        Bad hosts cannot compute a good host's HMAC, so the best they
+        can do against storage they control is attach a random seal.
+        The victim's recovery must fail closed.
+        """
+        host = self.executor.hosts[victim]
+        host.ensure_durable()
+        store = host.durable
+        genuine_checkpoint, genuine_wal = store.checkpoint, list(store.wal)
+
+        def restore() -> None:
+            store.checkpoint = genuine_checkpoint
+            store.wal = list(genuine_wal)
+
+        forged = Checkpoint(
+            victim, store.high_water, host.snapshot_state(),
+            seal=os.urandom(32),
+        )
+        store.checkpoint = forged
+        store.wal = []
+        outcome = self._force_recovery(host, restore)
+        return self._note(
+            f"forged checkpoint seal on {victim}", outcome,
+            "recovered from a forged checkpoint!" if outcome is True else "",
+        )
+
+    def try_checkpoint_rollback(self, victim: str) -> AttackReport:
+        """Replay an older — genuinely sealed — checkpoint.
+
+        The stale checkpoint's seal verifies, but its epoch no longer
+        matches the sealed high-water counter, so the rollback is
+        detected (the TPM-register trick).
+        """
+        host = self.executor.hosts[victim]
+        host.ensure_durable()
+        store = host.durable
+        stale = store.checkpoint
+        host.take_checkpoint()  # legitimate progress bumps high_water
+        fresh = store.checkpoint
+
+        def restore() -> None:
+            store.checkpoint = fresh
+            store.wal = []
+
+        store.checkpoint = stale
+        store.wal = []
+        outcome = self._force_recovery(host, restore)
+        return self._note(
+            f"checkpoint rollback on {victim}", outcome,
+            "recovered from a rolled-back checkpoint!"
+            if outcome is True else "",
+        )
+
+    def try_fake_recovery(
+        self, live_host: str, target: Optional[str] = None
+    ) -> AttackReport:
+        """Announce a recovery on behalf of a live good host.
+
+        A peer believing this would re-forward pending data and reset
+        its duplicate-suppression view of ``live_host``.  The bad host
+        cannot seal the announcement, and it cannot even claim to *be*
+        ``live_host`` (good hosts check the claimed identity against
+        the authenticated message source), so the announcement is
+        rejected and the bad host quarantined.
+        """
+        if target is None:
+            target = next(
+                descriptor.name
+                for descriptor in self.split.config.hosts
+                if descriptor.name not in (self.bad_host, live_host)
+            )
+        outcome = self._request(
+            Message(
+                "recover",
+                self.bad_host,
+                target,
+                self._payload(
+                    host=live_host, epoch=1, seq=1, seal=os.urandom(32)
+                ),
+            )
+        )
+        return self._note(
+            f"fake recovery announcement for {live_host}", outcome
+        )
 
     # -- summaries ------------------------------------------------------------------
 

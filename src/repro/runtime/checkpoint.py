@@ -1,0 +1,229 @@
+"""Durable state for crash recovery: write-ahead log + sealed checkpoints.
+
+The fault model of :mod:`repro.runtime.faults` originally treated a
+crash as fail-stop *with durable state*: a restarted host woke up with
+every frame, field, and ICS entry intact, so "recovery" never actually
+ran.  This module makes the split explicit.  Each host owns a
+:class:`DurableStore` — its simulated stable storage — holding
+
+* a **write-ahead log** of every state mutation since the last
+  checkpoint (field and array writes first among them, but also frame
+  variable writes, ICS pushes/pops, idempotency-table inserts, and
+  deferred-forward bookkeeping: everything a bit-identical recovery
+  needs), appended *before* the effect is acknowledged to any peer; and
+* a periodic **checkpoint**: a full snapshot of the host's volatile
+  state (frames, ICS slice, dedup/seq state, fields, arrays, pending
+  forwards), sealed with HMAC-SHA256 under the host's own key — the
+  same key and registry that sign capability tokens
+  (:mod:`repro.runtime.tokens`).  Taking a checkpoint compacts the WAL.
+
+Stable storage is *untrusted*: a bad host (or a bad storage service)
+may overwrite it.  The seal makes tampering detectable — recovery
+verifies the checkpoint's MAC and its epoch against the host's sealed
+monotonic counter (``high_water``, conceptually a TPM register the
+storage attacker cannot roll back) and **fails closed** with
+:class:`CheckpointTamperError` rather than loading forged or
+rolled-back state.
+
+Recovery announcements ride the same machinery: a restarted host
+broadcasts ``recover`` carrying ``(host, epoch, seq)`` sealed with its
+key (:func:`recovery_blob` is the byte format), so peers can tell a
+genuine announcement from a fabricated or replayed one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .tokens import Token
+from .values import REJECTED, FrameID
+
+
+class CheckpointTamperError(RuntimeError):
+    """Stable storage failed verification: forged seal, missing
+    checkpoint, or an epoch that does not match the host's sealed
+    monotonic counter (a rollback).  Recovery fails closed."""
+
+
+# ----------------------------------------------------------------------
+# Canonical state encoding (the bytes under the checkpoint seal)
+# ----------------------------------------------------------------------
+
+
+def encode(value: Any) -> bytes:
+    """A canonical, deterministic byte encoding of checkpoint state.
+
+    Handles the container and value types that appear in host state;
+    dictionaries are sorted by encoded key so iteration order never
+    leaks into the seal.  Anything else falls back to ``repr`` (stable
+    for the run-time value types, which print their numeric ids).
+    """
+    if value is None:
+        return b"N"
+    if value is True:
+        return b"T"
+    if value is False:
+        return b"F"
+    if value is REJECTED:
+        return b"R"
+    if isinstance(value, int):
+        return b"i%d" % value
+    if isinstance(value, float):
+        return b"f" + repr(value).encode()
+    if isinstance(value, str):
+        raw = value.encode()
+        return b"s%d:" % len(raw) + raw
+    if isinstance(value, (bytes, bytearray)):
+        return b"b%d:" % len(value) + bytes(value)
+    if isinstance(value, Token):
+        return b"tok(" + value.message() + b"," + value.mac + b")"
+    if isinstance(value, FrameID):
+        return b"fid(%d," % value.fid + encode(value.method_key) + b")"
+    if isinstance(value, (list, tuple)):
+        return b"[" + b",".join(encode(item) for item in value) + b"]"
+    if isinstance(value, dict):
+        items = sorted(
+            (encode(key), encode(val)) for key, val in value.items()
+        )
+        return b"{" + b",".join(k + b"=" + v for k, v in items) + b"}"
+    return b"?" + repr(value).encode()
+
+
+def recovery_blob(host: str, epoch: int, seq: int) -> bytes:
+    """The sealed byte format of a recovery announcement."""
+    return f"{host}|{epoch}|{seq}".encode()
+
+
+def copy_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """A structural copy of a host-state snapshot.
+
+    One level deeper than the containers that get mutated in place;
+    leaf values (ints, tokens, refs, labels) are immutable at run time.
+    """
+    return {
+        "fields": dict(state["fields"]),
+        "arrays": {oid: list(vals) for oid, vals in state["arrays"].items()},
+        "array_meta": dict(state["array_meta"]),
+        "frames": {
+            fid: {"vars": dict(frame["vars"]), "ret": frame["ret"]}
+            for fid, frame in state["frames"].items()
+        },
+        "stack": list(state["stack"]),
+        "seen": dict(state["seen"]),
+        "pending": {
+            target: dict(slots) for target, slots in state["pending"].items()
+        },
+        "peer_epochs": dict(state["peer_epochs"]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+class Checkpoint:
+    """One sealed snapshot of a host's volatile state."""
+
+    __slots__ = ("host", "epoch", "state", "seal")
+
+    def __init__(
+        self,
+        host: str,
+        epoch: int,
+        state: Dict[str, Any],
+        seal: bytes = b"",
+    ) -> None:
+        self.host = host
+        self.epoch = epoch
+        self.state = state
+        self.seal = seal
+
+    def message_body(self) -> bytes:
+        """The bytes the seal authenticates: host, epoch, and state."""
+        return encode((self.host, self.epoch, self.state))
+
+    def __repr__(self) -> str:
+        return f"Checkpoint({self.host} epoch={self.epoch})"
+
+
+class DurableStore:
+    """A host's simulated stable storage: checkpoint + WAL.
+
+    The ``factory`` is the host's :class:`~repro.runtime.tokens.
+    TokenFactory`; checkpoint seals and recovery-announcement seals are
+    HMACs under the same per-host key that signs capability tokens.
+    ``high_water`` and ``recoveries`` model sealed monotonic counters
+    (e.g. TPM registers): the storage attacker can replace the
+    checkpoint and the log, but cannot wind these back, which is what
+    makes rollback detectable.
+    """
+
+    def __init__(self, host: str, factory, interval: int = 4) -> None:
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.host = host
+        self._factory = factory
+        #: processed-message count between checkpoints.
+        self.interval = interval
+        self.checkpoint: Optional[Checkpoint] = None
+        #: mutations since the last checkpoint, in apply order.
+        self.wal: List[Tuple] = []
+        #: sealed monotonic counter: epoch of the latest legitimate
+        #: checkpoint.  Not writable from stable storage.
+        self.high_water = 0
+        #: sealed monotonic counter of completed recoveries (makes
+        #: every announcement unique, so replays are detectable).
+        self.recoveries = 0
+        #: messages processed since the last checkpoint.
+        self.processed = 0
+        #: lifetime statistics.
+        self.checkpoints_taken = 0
+
+    # -- write path --------------------------------------------------------
+
+    def log(self, *entry: Any) -> None:
+        """Append one mutation record to the write-ahead log."""
+        self.wal.append(entry)
+
+    def take_checkpoint(self, state: Dict[str, Any]) -> Checkpoint:
+        """Seal ``state`` as the new checkpoint and compact the WAL."""
+        epoch = self.high_water + 1
+        checkpoint = Checkpoint(self.host, epoch, state)
+        checkpoint.seal = self._factory.seal(
+            "checkpoint", checkpoint.message_body()
+        )
+        self.checkpoint = checkpoint
+        self.high_water = epoch
+        self.wal = []
+        self.processed = 0
+        self.checkpoints_taken += 1
+        return checkpoint
+
+    # -- recovery path -----------------------------------------------------
+
+    def load(self) -> Tuple[Dict[str, Any], List[Tuple]]:
+        """Verify and return (state copy, WAL suffix) for recovery.
+
+        Raises :class:`CheckpointTamperError` — fail closed — when the
+        checkpoint is missing, its seal does not verify, or its epoch
+        disagrees with the sealed ``high_water`` counter (rollback).
+        """
+        checkpoint = self.checkpoint
+        if checkpoint is None:
+            raise CheckpointTamperError(
+                f"{self.host}: no checkpoint in stable storage"
+            )
+        if not self._factory.verify_seal(
+            self.host, "checkpoint", checkpoint.message_body(),
+            checkpoint.seal,
+        ):
+            raise CheckpointTamperError(
+                f"{self.host}: checkpoint seal verification failed"
+            )
+        if checkpoint.epoch != self.high_water:
+            raise CheckpointTamperError(
+                f"{self.host}: checkpoint epoch {checkpoint.epoch} does not "
+                f"match the sealed counter {self.high_water} (rollback)"
+            )
+        return copy_state(checkpoint.state), list(self.wal)

@@ -45,7 +45,7 @@ from ..splitter.fragments import (
     TermJump,
     TermReturn,
 )
-from .values import ArrayRef, ObjectRef
+from .values import ObjectRef
 
 #: ``fn(host, frame) -> value``
 ExprFn = Callable[[Any, Any], Any]
@@ -107,11 +107,9 @@ def compile_expr(expr: ir.IRExpr) -> ExprFn:
         label = expr.label
 
         def new_arr(host, frame):
-            length = length_fn(host, frame)
-            ref = ArrayRef(length, host.name, label)
-            host.array_store[ref.oid] = [0] * length
-            host.array_meta[ref.oid] = label
-            return ref
+            # Routed through the host so the allocation is WAL-logged
+            # when a durable store is attached (crash recovery).
+            return host.alloc_array(length_fn(host, frame), label)
 
         return new_arr
     if isinstance(expr, ir.ArrayUse):
@@ -241,11 +239,7 @@ def compile_op(op) -> OpFn:
             for target in targets:
                 if target == host.name:
                     continue
-                host.pending.setdefault(target, {})[slot] = (
-                    value,
-                    label,
-                    frame,
-                )
+                host.defer_forward(target, slot, value, label, frame)
             if host.opt_level == 0:
                 host.flush_forwards(piggyback_for=None)
 

@@ -100,9 +100,15 @@ class DistributedExecutor:
         registry: Optional[KeyRegistry] = None,
         faults: Optional[FaultInjector] = None,
         token_rng=None,
+        quarantine: bool = False,
+        checkpoint_interval: int = 4,
     ) -> None:
         self.split = split
         self.network = SimNetwork(cost_model, faults=faults)
+        #: opt in to the quarantine layer: a rejected remote request
+        #: raises SecurityAbort and blacklists the offender instead of
+        #: being silently ignored.
+        self.network.quarantine_enabled = quarantine
         self.registry = registry or KeyRegistry()
         self.hosts: Dict[str, TrustedHost] = {}
         for descriptor in split.config.hosts:
@@ -113,6 +119,7 @@ class DistributedExecutor:
                 self.registry,
                 opt_level=opt_level,
                 token_rng=token_rng,
+                checkpoint_interval=checkpoint_interval,
             )
 
     def host(self, name: str) -> TrustedHost:
@@ -126,7 +133,7 @@ class DistributedExecutor:
         main_frame = FrameID(main_key)
         # The root capability t0: consuming it halts the program.
         root = main_host.factory.mint(main_frame, self.split.main_entry)
-        main_host.stack.push(root, None)
+        main_host.adopt_root(root)
         state = ExecutionState(self.split.main_entry, main_frame, root)
         halted = False
         try:
@@ -158,14 +165,17 @@ def run_split_program(
     opt_level: int = 1,
     faults: Optional[FaultInjector] = None,
     token_rng=None,
+    quarantine: bool = False,
 ) -> ExecutionResult:
     """Convenience wrapper: execute a split program and return the result.
 
     With ``faults`` set, the run either completes with the fault-free
     result or raises :class:`~repro.runtime.network.DeliveryTimeoutError`
-    (fail closed) — never a wrong answer.
+    (fail closed) — never a wrong answer.  With ``quarantine`` set, a
+    detected protocol violation raises
+    :class:`~repro.runtime.network.SecurityAbort` instead of stalling.
     """
     return DistributedExecutor(
         split, cost_model=cost_model, opt_level=opt_level, faults=faults,
-        token_rng=token_rng,
+        token_rng=token_rng, quarantine=quarantine,
     ).run()

@@ -19,17 +19,18 @@ drive this engine.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..splitter.fragments import SplitProgram
 from .executor import ExecutionResult, run_split_program
-from .faults import FaultInjector, FaultPolicy
+from .faults import CrashPointInjector, FaultInjector, FaultPolicy
 from .network import DeliveryTimeoutError
 
 
 def random_policy(rng: random.Random) -> FaultPolicy:
     """Draw one fault schedule's knobs; spans mild to fairly hostile."""
-    return FaultPolicy(
+    policy = FaultPolicy(
         drop_prob=rng.uniform(0.0, 0.15),
         duplicate_prob=rng.uniform(0.0, 0.15),
         reorder_prob=rng.uniform(0.0, 0.3),
@@ -38,6 +39,12 @@ def random_policy(rng: random.Random) -> FaultPolicy:
         crash_downtime=rng.uniform(1e-4, 4e-3),
         max_crashes=3,
     )
+    # Drawn last so every pre-existing seed keeps its exact fault
+    # schedule: half the schedules now crash with volatile state
+    # (checkpoint + WAL recovery), half with the legacy durable state.
+    if rng.random() < 0.5:
+        policy.crash_mode = "volatile"
+    return policy
 
 
 class ScheduleOutcome:
@@ -188,4 +195,176 @@ def sweep(
             report.schedules.append(
                 ScheduleOutcome(seed, policy, "ok", fault_counts=counts)
             )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Crash-point sweep: crash every host at every message-kind boundary
+# ----------------------------------------------------------------------
+
+
+class CrashPointOutcome:
+    """One deterministic crash point's result."""
+
+    __slots__ = ("host", "kind", "occurrence", "status", "detail")
+
+    def __init__(
+        self, host: str, kind: str, occurrence: int, status: str,
+        detail: str = "",
+    ) -> None:
+        self.host = host
+        self.kind = kind
+        self.occurrence = occurrence
+        #: "ok" | "timeout" | "failure"
+        self.status = status
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return (
+            f"CrashPointOutcome({self.host}/{self.kind}"
+            f"@{self.occurrence}, {self.status})"
+        )
+
+
+class CrashSweepReport:
+    """Aggregate of a crash-point sweep."""
+
+    def __init__(self, reference: Dict[Tuple[str, str], object]) -> None:
+        self.reference = reference
+        self.points: List[CrashPointOutcome] = []
+        self.failures: List[str] = []
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for p in self.points if p.status == "ok")
+
+    @property
+    def timeouts(self) -> int:
+        return sum(1 for p in self.points if p.status == "timeout")
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.points)} crash points: {self.completed} recovered "
+            f"with the fault-free result, {self.timeouts} failed closed "
+            f"(timeout), {len(self.failures)} FAILED"
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+def _pick_occurrences(total: int, per_point: Optional[int]) -> List[int]:
+    """Up to ``per_point`` receipt indices in [0, total), evenly spaced
+    and always including the first and last receipt; None means all."""
+    if per_point is None or per_point >= total:
+        return list(range(total))
+    if per_point <= 1:
+        return [0]
+    step = (total - 1) / (per_point - 1)
+    return sorted({round(i * step) for i in range(per_point)})
+
+
+def crash_point_sweep(
+    split: SplitProgram,
+    opt_level: int = 1,
+    per_point: Optional[int] = 3,
+    crash_mode: str = "volatile",
+    crash_downtime: float = 2e-3,
+    name: str = "",
+    token_seed: int = 0x5EED,
+) -> CrashSweepReport:
+    """Crash each host at each message-kind receipt boundary, recover,
+    and check the run still ends bit-identical to fault-free.
+
+    The boundaries are enumerated from a fault-free reference run's
+    message log: every remote ``(dst host, kind)`` pair, sampled at up
+    to ``per_point`` receipt indices (``None`` = every single receipt).
+    Because :class:`~repro.runtime.faults.CrashPointInjector` injects no
+    other fault, the pre-crash prefix of each run matches the reference
+    exactly, so every enumerated point is guaranteed to fire.
+    """
+    tag = f"{name} " if name else ""
+    reference = run_split_program(
+        split, opt_level=opt_level, token_rng=random.Random(token_seed)
+    )
+    ref_fields = {
+        key: reference.field_value(*key) for key in split.fields
+    }
+    ref_depths = {
+        host: h.stack.depth for host, h in reference.hosts.items()
+    }
+    # Some workloads (e.g. medical) declassify data whose static label
+    # the per-message instrumentation still flags; only flows the
+    # fault-free run does NOT exhibit count against a crash point.
+    baseline_problems = set(assurance_problems(split, reference))
+    receipt_counts = Counter(
+        (m.dst, m.kind)
+        for m in reference.network.message_log
+        if m.src != m.dst
+    )
+    report = CrashSweepReport(ref_fields)
+    for (dst, kind), total in sorted(receipt_counts.items()):
+        for occurrence in _pick_occurrences(total, per_point):
+            injector = CrashPointInjector(
+                dst, kind, occurrence,
+                crash_downtime=crash_downtime, crash_mode=crash_mode,
+            )
+            label = f"{tag}{dst}/{kind}@{occurrence}"
+            try:
+                outcome = run_split_program(
+                    split, opt_level=opt_level, faults=injector,
+                    token_rng=random.Random(token_seed),
+                )
+            except DeliveryTimeoutError as error:
+                report.points.append(
+                    CrashPointOutcome(
+                        dst, kind, occurrence, "timeout", str(error)
+                    )
+                )
+                continue
+            except Exception as error:  # noqa: BLE001 — any escape is a bug
+                report.points.append(
+                    CrashPointOutcome(
+                        dst, kind, occurrence, "failure", repr(error)
+                    )
+                )
+                report.failures.append(f"{label}: unexpected {error!r}")
+                continue
+            problems: List[str] = []
+            if not injector.fired:
+                problems.append("crash point never reached")
+            for key, expected in ref_fields.items():
+                got = outcome.field_value(*key)
+                if got != expected:
+                    problems.append(
+                        f"field {key[0]}.{key[1]} = {got!r}, expected "
+                        f"{expected!r}"
+                    )
+            problems.extend(
+                p for p in assurance_problems(split, outcome)
+                if p not in baseline_problems
+            )
+            if outcome.audits:
+                problems.append(f"audit log not empty: {outcome.audits}")
+            for host, h in outcome.hosts.items():
+                if h.stack.depth != ref_depths[host]:
+                    problems.append(
+                        f"{host} ICS depth {h.stack.depth} != "
+                        f"fault-free {ref_depths[host]}"
+                    )
+            if crash_mode == "volatile" and injector.fired and not any(
+                event[0] == "recover"
+                for event in outcome.network.fault_events
+            ):
+                problems.append("no recovery event after a volatile crash")
+            if problems:
+                detail = "; ".join(problems)
+                report.points.append(
+                    CrashPointOutcome(dst, kind, occurrence, "failure", detail)
+                )
+                report.failures.append(f"{label}: {detail}")
+            else:
+                report.points.append(
+                    CrashPointOutcome(dst, kind, occurrence, "ok")
+                )
     return report

@@ -15,6 +15,20 @@ ICS push, not two), and a re-delivered ``lgoto``/``rgoto`` does not run
 its fragment chain again.  Replays carrying a *fresh* key still fall
 through to the Figure 6 checks, where the one-shot capability discipline
 rejects them.
+
+Under fault injection the host additionally keeps a
+:class:`~repro.runtime.checkpoint.DurableStore`: every state mutation —
+field and array writes, frame variables, ICS pushes/pops, the
+idempotency table, deferred forwards — is written ahead to its WAL, and
+a sealed checkpoint compacts the log every few processed messages.  In
+the ``volatile`` crash mode a crash wipes all in-memory state
+(:meth:`TrustedHost.crash_wipe`); the restart rebuilds it bit-identically
+from checkpoint + WAL replay (:meth:`TrustedHost.recover`) and
+broadcasts a sealed ``recover`` announcement so peers re-forward
+pending data.  When the network's quarantine layer is enabled, any
+rejected remote request escalates to
+:class:`~repro.runtime.network.SecurityAbort` instead of being silently
+ignored, blacklisting the offender.
 """
 
 from __future__ import annotations
@@ -38,13 +52,21 @@ from ..splitter.fragments import (
 )
 from ..splitter import ir
 from ..trust import KeyRegistry
+from .checkpoint import (
+    CheckpointTamperError,
+    DurableStore,
+    copy_state,
+    recovery_blob,
+)
 from .compiler import CompiledFragment, compilation_enabled, compile_split
 from .ics import LocalStack
-from .network import Message, SimNetwork
+from .network import Message, SecurityAbort, SimNetwork
 from .tokens import Token, TokenFactory
-from .values import ArrayRef, FrameID, ObjectRef, ReturnInfo
+from .values import REJECTED, ArrayRef, FrameID, ObjectRef, ReturnInfo
 
-_REJECTED = object()
+#: Re-export of :data:`repro.runtime.values.REJECTED` under its
+#: historical name (tests and the attack harness import it from here).
+_REJECTED = REJECTED
 _UNSEEN = object()
 
 
@@ -74,6 +96,7 @@ class TrustedHost:
         registry: KeyRegistry,
         opt_level: int = 1,
         token_rng=None,
+        checkpoint_interval: int = 4,
     ) -> None:
         self.name = name
         self.split = split
@@ -81,8 +104,9 @@ class TrustedHost:
         self.opt_level = opt_level
         self.factory = TokenFactory(name, registry, rng=token_rng)
         self.stack = LocalStack()
-        #: idempotency table: processed msg_id -> result.  Survives a
-        #: crash-restart (fail-stop with durable state; see faults.py).
+        #: idempotency table: processed msg_id -> result.  Under the
+        #: volatile crash mode it is rebuilt from the durable store's
+        #: WAL, so retransmissions stay suppressed across a crash.
         self._seen_requests: Dict[int, Any] = {}
         #: fields stored here: (cls, field, oid) -> value.
         self.field_store: Dict[Tuple[str, str, Optional[int]], Any] = {}
@@ -100,12 +124,24 @@ class TrustedHost:
         self.entry_acl: Dict[str, frozenset] = {
             entry: split.entry_invokers(entry) for entry in self.entries
         }
+        #: latest recovery announcement (epoch, seq) seen per peer —
+        #: lets stale re-deliveries of genuine announcements be no-ops.
+        self.peer_epochs: Dict[str, Tuple[int, int]] = {}
         #: fragments lowered to closures (shared across hosts via the
         #: split program); None when REPRO_COMPILE=0 selects the
         #: tree-walking interpreter.
         self._compiled = compile_split(split) if compilation_enabled() else None
         self._init_fields()
-        network.register(name, self.handle)
+        self.checkpoint_interval = checkpoint_interval
+        #: stable storage (WAL + sealed checkpoints).  Only materialized
+        #: under fault injection, so fault-free runs stay bit-identical
+        #: to the Section 3.1 model — no WAL writes, no seal hashing.
+        self.durable: Optional[DurableStore] = None
+        network.register(
+            name, self.handle, on_crash=self.crash_wipe, on_restart=self.recover
+        )
+        if network.faults is not None:
+            self.ensure_durable()
 
     def _init_fields(self) -> None:
         for placement in self.split.fields_on(self.name):
@@ -134,6 +170,8 @@ class TrustedHost:
 
     def set_var(self, fid: FrameID, name: str, value: Any) -> None:
         self.frame(fid)["vars"][name] = value
+        if self.durable is not None:
+            self.durable.log("var", fid, name, value)
 
     # ------------------------------------------------------------------
     # Incoming requests (Figure 6)
@@ -147,7 +185,7 @@ class TrustedHost:
                 self.network.audit(
                     self.name, f"{message.kind} with mismatched program hash"
                 )
-                return _REJECTED
+                return self._reject(message)
             if message.msg_id is not None:
                 # Reliable-delivery idempotency: a retransmission or
                 # duplicate re-presents a processed key; answer from the
@@ -156,9 +194,32 @@ class TrustedHost:
                 if cached is not _UNSEEN:
                     return cached
         result = self._dispatch(message)
-        if remote and message.msg_id is not None:
-            self._seen_requests[message.msg_id] = result
+        if remote:
+            if message.msg_id is not None:
+                # Write-ahead: the dedup entry must be durable before
+                # the reply is released, or a crash + retransmission
+                # would re-execute the request's effects (e.g. re-mint
+                # a sync token and diverge from the fault-free run).
+                self._seen_requests[message.msg_id] = result
+                if self.durable is not None:
+                    self.durable.log("seen", message.msg_id, result)
+            if result is _REJECTED:
+                return self._reject(message)
+            if self.durable is not None:
+                self._maybe_checkpoint()
         return result
+
+    def _reject(self, message: Message) -> Any:
+        """A validated-and-refused remote request: silently ignore it
+        (Figure 6) — or, with the quarantine layer on, abort the run and
+        blacklist the sender."""
+        if self.network.quarantine_enabled:
+            self.network.quarantine(
+                message.src,
+                self.name,
+                f"{message.kind} from {message.src} rejected by {self.name}",
+            )
+        return _REJECTED
 
     def _dispatch(self, message: Message) -> Any:
         kind = message.kind
@@ -174,6 +235,8 @@ class TrustedHost:
             return self._handle_rgoto(message)
         if kind == "lgoto":
             return self._handle_lgoto(message)
+        if kind == "recover":
+            return self._handle_recover(message)
         self.network.audit(self.name, f"unknown request kind {kind!r}")
         return _REJECTED
 
@@ -196,6 +259,8 @@ class TrustedHost:
         store_key = (key[0], key[1], payload.get("oid"))
         if store_key not in self.field_store:
             self.field_store[store_key] = placement.default_value()
+            if self.durable is not None:
+                self.durable.log("field", store_key, self.field_store[store_key])
         value = self.field_store[store_key]
         if message.src != self.name:
             self.network.flow(placement.label, message.src)
@@ -252,6 +317,8 @@ class TrustedHost:
             )
             return _REJECTED
         store[index] = payload["value"]
+        if self.durable is not None:
+            self.durable.log("array_set", ref.oid, index, payload["value"])
         return True
 
     def _handle_set_field(self, message: Message) -> Any:
@@ -272,10 +339,16 @@ class TrustedHost:
             return _REJECTED
         store_key = (key[0], key[1], payload.get("oid"))
         self.field_store[store_key] = payload["value"]
+        if self.durable is not None:
+            self.durable.log("field", store_key, payload["value"])
         return True
 
     def _handle_forward(self, message: Message) -> Any:
-        """Apply forwarded frame variables after an integrity check."""
+        """Apply forwarded frame variables after an integrity check.
+
+        A denied variable rejects the request (the accepted ones are
+        still applied — they passed their own checks); honest senders
+        never mix the two."""
         accepted = True
         for fid, var_values in message.payload["vars"].items():
             plan = self.split.methods[fid.method_key]
@@ -293,7 +366,7 @@ class TrustedHost:
                     accepted = False
                     continue
                 self.set_var(fid, var, value)
-        return accepted
+        return True if accepted else _REJECTED
 
     def _handle_sync(self, message: Message) -> Any:
         payload = message.payload
@@ -312,6 +385,8 @@ class TrustedHost:
         if message.src != self.name:
             self.network.charge_hash()
         self.stack.push(token, payload.get("token"))
+        if self.durable is not None:
+            self.durable.log("push", token, payload.get("token"))
         return token
 
     def _handle_rgoto(self, message: Message) -> Any:
@@ -356,6 +431,8 @@ class TrustedHost:
                 f"lgoto with stale/replayed token for {token.entry}",
             )
             return _REJECTED
+        if self.durable is not None:
+            self.durable.log("pop")
         self._apply_payload_data(message)
         (previous,) = popped
         if previous is None:
@@ -379,6 +456,249 @@ class TrustedHost:
                     },
                 )
             )
+
+    def _handle_recover(self, message: Message) -> Any:
+        """A peer announces it has recovered from a volatile crash.
+
+        The announcement must be sealed by the recovering host itself
+        and must actually come from that host — a bad host can neither
+        fabricate an announcement for a live peer nor forge one without
+        the peer's key.  Stale re-deliveries of genuine announcements
+        (nested crashes, duplicated messages) are benign no-ops, never
+        violations: an honest host must not get quarantined for
+        retransmitting.
+        """
+        payload = message.payload
+        src = message.src
+        claimed = payload.get("host")
+        if claimed != src:
+            self.network.audit(
+                self.name,
+                f"recovery announcement for {claimed!r} sent by {src}",
+            )
+            return _REJECTED
+        epoch = payload.get("epoch")
+        seq = payload.get("seq")
+        if not isinstance(epoch, int) or not isinstance(seq, int):
+            self.network.audit(
+                self.name, f"malformed recovery announcement from {src}"
+            )
+            return _REJECTED
+        if not self.factory.verify_seal(
+            src, "recover", recovery_blob(src, epoch, seq), payload.get("seal")
+        ):
+            self.network.audit(
+                self.name, f"forged recovery seal from {src}"
+            )
+            return _REJECTED
+        self.network.charge_hash()
+        last = self.peer_epochs.get(src)
+        if last is not None and (epoch, seq) <= last:
+            return True
+        self.peer_epochs[src] = (epoch, seq)
+        if self.durable is not None:
+            self.durable.log("peer_epoch", src, (epoch, seq))
+        self._reforward_pending(src)
+        return True
+
+    def _reforward_pending(self, target: str) -> None:
+        """Re-flush deferred forwards to a freshly recovered peer.
+
+        The values are the same ones a later control transfer would have
+        carried (deferred forwards are computed at defer time), so
+        sending them early cannot change any final field or variable —
+        it just guarantees the recovered host is not waiting on data.
+        """
+        slots = self.pending.get(target)
+        if not slots:
+            return
+        vars_payload: Dict[FrameID, Dict[str, Any]] = {}
+        labels = []
+        for (fid_num, var), (value, label, fid) in slots.items():
+            vars_payload.setdefault(fid, {})[var] = value
+            labels.append(label)
+            self.network.flow(label, target)
+        slots.clear()
+        if self.durable is not None:
+            self.durable.log("pending_clear", target)
+        self.network.request(
+            Message(
+                "forward",
+                self.name,
+                target,
+                {"vars": vars_payload, "digest": self.split.digest},
+                data_labels=labels,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Crash recovery (durable store, checkpoints, WAL replay)
+    # ------------------------------------------------------------------
+
+    def ensure_durable(self) -> DurableStore:
+        """The host's stable storage, materialized on first use with a
+        sealed checkpoint of the current state."""
+        if self.durable is None:
+            self.durable = DurableStore(
+                self.name, self.factory, interval=self.checkpoint_interval
+            )
+            self.durable.take_checkpoint(self.snapshot_state())
+        return self.durable
+
+    def take_checkpoint(self):
+        """Seal the current state as a new checkpoint (compacts the WAL)."""
+        store = self.ensure_durable()
+        checkpoint = store.take_checkpoint(self.snapshot_state())
+        self.network._emit(
+            "checkpoint", None, self.name,
+            f"epoch {checkpoint.epoch} sealed, WAL compacted",
+        )
+        return checkpoint
+
+    def _maybe_checkpoint(self) -> None:
+        store = self.durable
+        store.processed += 1
+        if store.processed >= store.interval:
+            self.take_checkpoint()
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """A copy of everything a bit-identical recovery must restore."""
+        return copy_state(
+            {
+                "fields": self.field_store,
+                "arrays": self.array_store,
+                "array_meta": self.array_meta,
+                "frames": self.frames,
+                "stack": self.stack._stack,
+                "seen": self._seen_requests,
+                "pending": self.pending,
+                "peer_epochs": self.peer_epochs,
+            }
+        )
+
+    def crash_wipe(self) -> None:
+        """A volatile-state crash: everything outside the durable store
+        is lost.  Keys (the token factory) model secure hardware and the
+        program text is re-read from the split, so both survive."""
+        self.stack = LocalStack()
+        self._seen_requests = {}
+        self.field_store = {}
+        self.array_store = {}
+        self.array_meta = {}
+        self.frames = {}
+        self.pending = {}
+        self.peer_epochs = {}
+
+    def recover(self) -> None:
+        """Restart after a volatile crash: verify + install the sealed
+        checkpoint, replay the WAL, and announce the recovery.
+
+        Tampered stable storage (forged seal, rolled-back epoch) fails
+        closed with :class:`~repro.runtime.network.SecurityAbort` —
+        running from forged state would hand the storage attacker the
+        host's integrity.
+        """
+        store = self.durable
+        if store is None:
+            return
+        try:
+            state, wal = store.load()
+        except CheckpointTamperError as error:
+            self.network.audit(self.name, str(error))
+            self.network._emit("quarantine", None, self.name, str(error))
+            raise SecurityAbort(None, self.name, str(error)) from error
+        self._install_state(state)
+        for entry in wal:
+            self._replay(entry)
+        store.recoveries += 1
+        self.network._emit(
+            "recover", None, self.name,
+            f"epoch {store.high_water} + {len(wal)} WAL entries "
+            f"(recovery #{store.recoveries})",
+        )
+        self._announce_recovery()
+
+    def _install_state(self, state: Dict[str, Any]) -> None:
+        self.field_store = state["fields"]
+        self.array_store = state["arrays"]
+        self.array_meta = state["array_meta"]
+        self.frames = state["frames"]
+        stack = LocalStack()
+        stack._stack = list(state["stack"])
+        self.stack = stack
+        self._seen_requests = state["seen"]
+        self.pending = state["pending"]
+        self.peer_epochs = state["peer_epochs"]
+
+    def _replay(self, entry: Tuple) -> None:
+        """Re-apply one WAL record (state mutations only — no messages
+        are sent and no charges accrue; the effects already happened
+        before the crash)."""
+        op = entry[0]
+        if op == "var":
+            _, fid, name, value = entry
+            self.frame(fid)["vars"][name] = value
+        elif op == "field":
+            self.field_store[entry[1]] = entry[2]
+        elif op == "array_new":
+            _, oid, length, label = entry
+            self.array_store[oid] = [0] * length
+            self.array_meta[oid] = label
+        elif op == "array_set":
+            self.array_store[entry[1]][entry[2]] = entry[3]
+        elif op == "push":
+            self.stack.push(entry[1], entry[2])
+        elif op == "pop":
+            self.stack._stack.pop()
+        elif op == "seen":
+            self._seen_requests[entry[1]] = entry[2]
+        elif op == "pending":
+            _, target, slot, value, label, fid = entry
+            self.pending.setdefault(target, {})[slot] = (value, label, fid)
+        elif op == "pending_clear":
+            self.pending.get(entry[1], {}).clear()
+        elif op == "peer_epoch":
+            self.peer_epochs[entry[1]] = entry[2]
+        else:
+            raise AssertionError(f"unknown WAL record {entry!r}")
+
+    def _announce_recovery(self) -> None:
+        """Broadcast a sealed ``recover`` message so peers re-forward
+        pending data and accept the host back into the run."""
+        store = self.durable
+        # Snapshot epoch/seq: announcing to one peer can trigger
+        # re-forwards back to us, and handling those may seal a fresh
+        # checkpoint — the remaining peers must still get the payload
+        # the seal actually covers.
+        epoch, seq = store.high_water, store.recoveries
+        seal = self.factory.seal(
+            "recover", recovery_blob(self.name, epoch, seq)
+        )
+        for descriptor in self.split.config.hosts:
+            peer = descriptor.name
+            if peer == self.name:
+                continue
+            self.network.request(
+                Message(
+                    "recover",
+                    self.name,
+                    peer,
+                    {
+                        "host": self.name,
+                        "epoch": epoch,
+                        "seq": seq,
+                        "seal": seal,
+                        "digest": self.split.digest,
+                    },
+                )
+            )
+
+    def adopt_root(self, token: Token) -> None:
+        """Install the root capability t0 (WAL-logged like any push, so
+        a crash before the first checkpoint still recovers it)."""
+        self.stack.push(token, None)
+        if self.durable is not None:
+            self.durable.log("push", token, None)
 
     # ------------------------------------------------------------------
     # Fragment execution
@@ -472,21 +792,26 @@ class TrustedHost:
             value = self.var(state.frame, op.var)
             plan = self.split.methods[state.frame.method_key]
             label = plan.var_labels.get(op.var, Label.constant())
+            slot = (state.frame.fid, op.var)
             for target in op.hosts:
                 if target == self.name:
                     continue
-                slot = (state.frame.fid, op.var)
-                self.pending.setdefault(target, {})[slot] = (
-                    value,
-                    label,
-                    state.frame,
-                )
+                self.defer_forward(target, slot, value, label, state.frame)
             if self.opt_level == 0:
                 self.flush_forwards(piggyback_for=None)
         else:
             raise AssertionError(f"unknown op {op!r}")
 
     # -- data forwarding ----------------------------------------------------------
+
+    def defer_forward(
+        self, target: str, slot: Tuple[int, str], value: Any, label: Label,
+        frame: FrameID,
+    ) -> None:
+        """Defer a data forward to ``target`` (WAL-logged)."""
+        self.pending.setdefault(target, {})[slot] = (value, label, frame)
+        if self.durable is not None:
+            self.durable.log("pending", target, slot, value, label, frame)
 
     def flush_forwards(
         self, piggyback_for: Optional[str]
@@ -506,6 +831,8 @@ class TrustedHost:
                     self.network.flow(label, target)
                 self.network.note_eliminated(len(slots))
                 slots.clear()
+                if self.durable is not None:
+                    self.durable.log("pending_clear", target)
                 continue
             vars_payload: Dict[FrameID, Dict[str, Any]] = {}
             labels = []
@@ -522,13 +849,15 @@ class TrustedHost:
                 {"vars": vars_payload, "digest": self.split.digest},
                 data_labels=labels,
             )
+            slots.clear()
+            if self.durable is not None:
+                self.durable.log("pending_clear", target)
             if self.opt_level >= 2:
                 # The paper's proposed (unimplemented) optimization:
                 # forwards need no acknowledgment.
                 self.network.one_way(message)
             else:
                 self.network.request(message)
-            slots.clear()
         return piggyback
 
     # -- terminators ---------------------------------------------------------------
@@ -681,12 +1010,13 @@ class TrustedHost:
                     rgoto_payload[param] = value
                     self.network.flow(label, target)
                 else:
-                    self.pending.setdefault(target, {})[
-                        (callee_frame.fid, param)
-                    ] = (value, label, callee_frame)
+                    self.defer_forward(
+                        target, (callee_frame.fid, param), value, label,
+                        callee_frame,
+                    )
         if callee_host == self.name:
-            if rgoto_payload:
-                self.frame(callee_frame)["vars"].update(rgoto_payload)
+            for param, value in rgoto_payload.items():
+                self.set_var(callee_frame, param, value)
             return ExecutionState(
                 terminator.callee_entry, callee_frame, cont_token
             )
@@ -754,6 +1084,8 @@ class TrustedHost:
             if popped is None:
                 self.network.audit(self.name, "local lgoto with stale token")
                 return None
+            if self.durable is not None:
+                self.durable.log("pop")
             (previous,) = popped
             if previous is None:
                 raise HaltSignal()
@@ -787,10 +1119,7 @@ class TrustedHost:
             return ObjectRef(expr.cls)
         if isinstance(expr, ir.NewArr):
             length = self.eval(expr.length, frame)
-            ref = ArrayRef(length, self.name, expr.label)
-            self.array_store[ref.oid] = [0] * length
-            self.array_meta[ref.oid] = expr.label
-            return ref
+            return self.alloc_array(length, expr.label)
         if isinstance(expr, ir.ArrayUse):
             ref = self.eval(expr.array, frame)
             index = self.eval(expr.index, frame)
@@ -809,6 +1138,16 @@ class TrustedHost:
     # Array element access (counted as getField/setField, like the
     # paper's run-time array support)
     # ------------------------------------------------------------------
+
+    def alloc_array(self, length: int, label: Label) -> ArrayRef:
+        """Allocate a local array (WAL-logged so recovery re-creates it
+        under the same oid)."""
+        ref = ArrayRef(length, self.name, label)
+        self.array_store[ref.oid] = [0] * length
+        self.array_meta[ref.oid] = label
+        if self.durable is not None:
+            self.durable.log("array_new", ref.oid, length, label)
+        return ref
 
     def read_element(self, ref, index: int) -> Any:
         if ref is None:
@@ -843,6 +1182,8 @@ class TrustedHost:
                     f"array index {index} out of bounds [0, {len(store)})"
                 )
             store[index] = value
+            if self.durable is not None:
+                self.durable.log("array_set", ref.oid, index, value)
             return
         self.network.flow(ref.label, ref.host)
         result = self.network.request(
@@ -906,6 +1247,10 @@ class TrustedHost:
             store_key = (cls, field, oid)
             if store_key not in self.field_store:
                 self.field_store[store_key] = placement.default_value()
+                if self.durable is not None:
+                    self.durable.log(
+                        "field", store_key, self.field_store[store_key]
+                    )
             return self.field_store[store_key]
         result = self.network.request(
             Message(
@@ -929,6 +1274,8 @@ class TrustedHost:
         placement = self.split.fields[(cls, field)]
         if placement.host == self.name:
             self.field_store[(cls, field, oid)] = value
+            if self.durable is not None:
+                self.durable.log("field", (cls, field, oid), value)
             return
         self.network.flow(placement.label, placement.host)
         result = self.network.request(

@@ -107,6 +107,29 @@ class DeliveryTimeoutError(RuntimeError):
         self.attempts = attempts
 
 
+class SecurityAbort(RuntimeError):
+    """A detected protocol violation terminated the run fail-closed.
+
+    Raised by the quarantine layer (Section 3.2's threat model: a bad
+    host gains nothing, and good hosts stop talking to it) instead of
+    letting a rejected request silently stall the executor.  Carries
+    the offending host (``None`` when the violation is local, e.g.
+    tampered stable storage discovered during recovery) and the host
+    that detected it.
+    """
+
+    def __init__(
+        self, offender: Optional[str], victim: Optional[str], why: str
+    ) -> None:
+        super().__init__(
+            f"security abort ({offender or 'local'} vs {victim or '?'}): "
+            f"{why}"
+        )
+        self.offender = offender
+        self.victim = victim
+        self.why = why
+
+
 class SimNetwork:
     """Message transport, accounting, and the control-message queue."""
 
@@ -139,11 +162,30 @@ class SimNetwork:
         self._seq: Counter = Counter()
         self._queue: Deque[Message] = deque()
         self._handlers: Dict[str, Callable[[Message], Any]] = {}
+        #: host -> (on_crash, on_restart) hooks, used in volatile crash
+        #: mode to wipe a host's state and drive its recovery.
+        self._crash_hooks: Dict[
+            str, Tuple[Optional[Callable[[], None]], Optional[Callable[[], None]]]
+        ] = {}
+        #: quarantine layer: off by default (rejected requests are
+        #: silently ignored, the paper's Figure 6 behaviour).  When on,
+        #: a rejected *remote* request raises :class:`SecurityAbort` and
+        #: blacklists the offender.
+        self.quarantine_enabled = False
+        self.quarantined: set = set()
 
     # -- host registration -----------------------------------------------------
 
-    def register(self, host: str, handler: Callable[[Message], Any]) -> None:
+    def register(
+        self,
+        host: str,
+        handler: Callable[[Message], Any],
+        on_crash: Optional[Callable[[], None]] = None,
+        on_restart: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._handlers[host] = handler
+        if on_crash is not None or on_restart is not None:
+            self._crash_hooks[host] = (on_crash, on_restart)
 
     @property
     def hosts(self) -> List[str]:
@@ -178,6 +220,24 @@ class SimNetwork:
     def flow(self, label, host: str) -> None:
         """Record that data labeled ``label`` became visible to ``host``."""
         self.flow_log.append((label, host))
+
+    # -- quarantine --------------------------------------------------------------
+
+    def quarantine(self, offender: str, victim: str, why: str) -> None:
+        """Blacklist ``offender`` and unwind the run with
+        :class:`SecurityAbort` (only called when ``quarantine_enabled``)."""
+        self.audit(victim, f"quarantining {offender}: {why}")
+        self._emit("quarantine", offender, victim, why)
+        self.quarantined.add(offender)
+        raise SecurityAbort(offender, victim, why)
+
+    def _check_quarantine(self, message: Message) -> None:
+        if self.quarantine_enabled and message.src in self.quarantined:
+            raise SecurityAbort(
+                message.src,
+                message.dst,
+                f"{message.kind} refused: {message.src} is quarantined",
+            )
 
     # -- fault events ------------------------------------------------------------
 
@@ -214,6 +274,7 @@ class SimNetwork:
             raise KeyError(f"unknown host {message.dst!r}")
         if message.src == message.dst:
             return handler(message)
+        self._check_quarantine(message)
         if self.faults is None:
             self._account(message, messages=2)
             return handler(message)
@@ -226,6 +287,7 @@ class SimNetwork:
             raise KeyError(f"unknown host {message.dst!r}")
         if message.src == message.dst:
             return handler(message)
+        self._check_quarantine(message)
         if self.faults is None:
             self._account(message, messages=messages)
             return handler(message)
@@ -239,24 +301,60 @@ class SimNetwork:
         """Ack/retry loop for a synchronous exchange under faults."""
         self._stamp(message)
         attempt = 0
+        waited = 0.0
         while True:
             delivered, result = self._try_deliver(message, handler, roundtrip)
             if delivered:
                 return result
             # The ack never came: wait out the retransmission timer.
-            self.clock += self.retry.timeout(attempt)
+            timer = self.retry.timeout(attempt)
+            self.clock += timer
+            waited += timer
             attempt += 1
-            if attempt > self.retry.max_retries:
+            if attempt > self.retry.max_retries or self.retry.past_deadline(
+                waited
+            ):
                 self._emit(
                     "timeout", message.src, message.dst,
                     f"{message.kind} #{message.msg_id} gave up after "
-                    f"{attempt} attempts",
+                    f"{attempt} attempts ({waited:.3f}s of timers)",
                 )
                 raise DeliveryTimeoutError(message, attempt)
             self._emit(
                 "retry", message.src, message.dst,
                 f"{message.kind} #{message.msg_id} attempt {attempt + 1}",
             )
+
+    def _volatile_crashes(self) -> bool:
+        return (
+            self.faults is not None
+            and self.faults.policy.crash_mode == "volatile"
+        )
+
+    def _host_crashed(self, message: Message) -> None:
+        """Bookkeeping for a crash at receipt of ``message``: in volatile
+        mode the destination's state is wiped on the spot."""
+        dst = message.dst
+        self._account(message, messages=1)
+        self._emit(
+            "crash", None, dst,
+            f"{dst} crashed on receipt of {message.kind} "
+            f"#{message.msg_id}",
+        )
+        if self._volatile_crashes():
+            hooks = self._crash_hooks.get(dst)
+            if hooks is not None and hooks[0] is not None:
+                hooks[0]()
+
+    def _host_restarted(self, dst: str) -> None:
+        """Bookkeeping for a restart: in volatile mode the host runs its
+        recovery protocol (checkpoint + WAL replay + announcement)
+        before the pending delivery proceeds."""
+        self._emit("restart", None, dst, f"{dst} back up")
+        if self._volatile_crashes():
+            hooks = self._crash_hooks.get(dst)
+            if hooks is not None and hooks[1] is not None:
+                hooks[1]()
 
     def _try_deliver(
         self, message: Message, handler: Callable[[Message], Any], roundtrip: bool
@@ -265,7 +363,7 @@ class SimNetwork:
         faults = self.faults
         dst = message.dst
         if faults.check_restart(dst, self.clock):
-            self._emit("restart", None, dst, f"{dst} back up")
+            self._host_restarted(dst)
         if faults.is_down(dst, self.clock):
             self._account(message, messages=1)
             self._emit(
@@ -273,13 +371,8 @@ class SimNetwork:
                 f"{message.kind} #{message.msg_id}: {dst} is down",
             )
             return False, None
-        if faults.maybe_crash(dst, self.clock):
-            self._account(message, messages=1)
-            self._emit(
-                "crash", None, dst,
-                f"{dst} crashed on receipt of {message.kind} "
-                f"#{message.msg_id}",
-            )
+        if faults.maybe_crash(dst, self.clock, message.kind):
+            self._host_crashed(message)
             return False, None
         if faults.should_drop():
             self._account(message, messages=1)
@@ -318,22 +411,28 @@ class SimNetwork:
         if message.src == message.dst:
             self._queue.append(message)
             return
+        self._check_quarantine(message)
         if self.faults is None:
             self._account(message, messages=1)
             self._queue.append(message)
             return
         self._stamp(message)
         attempt = 0
+        waited = 0.0
         while True:
             if self._try_post(message):
                 return
-            self.clock += self.retry.timeout(attempt)
+            timer = self.retry.timeout(attempt)
+            self.clock += timer
+            waited += timer
             attempt += 1
-            if attempt > self.retry.max_retries:
+            if attempt > self.retry.max_retries or self.retry.past_deadline(
+                waited
+            ):
                 self._emit(
                     "timeout", message.src, message.dst,
                     f"{message.kind} #{message.msg_id} gave up after "
-                    f"{attempt} attempts",
+                    f"{attempt} attempts ({waited:.3f}s of timers)",
                 )
                 raise DeliveryTimeoutError(message, attempt)
             self._emit(
@@ -346,7 +445,7 @@ class SimNetwork:
         faults = self.faults
         dst = message.dst
         if faults.check_restart(dst, self.clock):
-            self._emit("restart", None, dst, f"{dst} back up")
+            self._host_restarted(dst)
         if faults.is_down(dst, self.clock):
             self._account(message, messages=1)
             self._emit(
@@ -354,13 +453,8 @@ class SimNetwork:
                 f"{message.kind} #{message.msg_id}: {dst} is down",
             )
             return False
-        if faults.maybe_crash(dst, self.clock):
-            self._account(message, messages=1)
-            self._emit(
-                "crash", None, dst,
-                f"{dst} crashed on receipt of {message.kind} "
-                f"#{message.msg_id}",
-            )
+        if faults.maybe_crash(dst, self.clock, message.kind):
+            self._host_crashed(message)
             return False
         if faults.should_drop():
             self._account(message, messages=1)

@@ -9,7 +9,11 @@ as a checked sequence of events.
 Under fault injection the timeline also carries the reliability layer's
 events: ``drop``, ``retry``, ``duplicate``, ``reorder``, ``crash``,
 ``restart``, and ``timeout``, interleaved with the messages whose
-delivery they perturbed.
+delivery they perturbed.  The crash-recovery subsystem adds
+``checkpoint`` (a host sealed its durable state), ``recover`` (a
+restarted host replayed its checkpoint + WAL and announced itself), and
+``quarantine`` (a detected protocol violation blacklisted the
+offender).
 """
 
 from __future__ import annotations

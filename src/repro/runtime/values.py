@@ -8,6 +8,13 @@ from typing import Optional
 _object_ids = itertools.count(1)
 _frame_ids = itertools.count(1)
 
+#: Sentinel for a validated-and-refused request (Figure 6: invalid
+#: requests are ignored and logged, never answered).  Lives here — the
+#: bottom of the runtime import graph — so both the host and the
+#: checkpoint encoder can name it; :mod:`repro.runtime.host` re-exports
+#: it as ``_REJECTED`` for compatibility.
+REJECTED = object()
+
 
 class ObjectRef:
     """A reference to a heap object.

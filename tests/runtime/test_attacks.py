@@ -128,6 +128,44 @@ class TestForwardAttacks:
         assert not report.rejected
 
 
+class TestRecoveryAttacks:
+    """The crash-recovery protocol's attack surface (checkpoint seals,
+    the sealed high-water counter, and recovery announcements)."""
+
+    def test_forged_checkpoint_seal_rejected(self, ot_run):
+        result, executor, _ = ot_run
+        adversary = Adversary(executor, "B")
+        report = adversary.try_forged_checkpoint("A")
+        assert report.rejected
+        # The victim came back up from its genuine storage afterwards.
+        assert executor.hosts["A"].durable.recoveries >= 1
+
+    def test_checkpoint_rollback_rejected(self, ot_run):
+        result, executor, _ = ot_run
+        adversary = Adversary(executor, "B")
+        assert adversary.try_checkpoint_rollback("A").rejected
+
+    def test_fake_recovery_announcement_rejected_and_quarantined(self, ot_run):
+        result, executor, _ = ot_run
+        adversary = Adversary(executor, "B")
+        assert adversary.try_fake_recovery("A").rejected
+        # The announcer is blacklisted: even an otherwise-legal message
+        # from B now fails closed.
+        assert "B" in executor.network.quarantined
+        follow_up = adversary.try_forward(
+            ("OTExample", "main"), "choice", 2, "T"
+        )
+        assert follow_up.rejected
+
+    def test_all_recovery_attacks_rejected(self, ot_run):
+        result, executor, _ = ot_run
+        adversary = Adversary(executor, "B")
+        adversary.try_forged_checkpoint("A")
+        adversary.try_checkpoint_rollback("T")
+        adversary.try_fake_recovery("A")
+        assert adversary.all_rejected(), adversary.accepted()
+
+
 class TestPingPongAttacks:
     def test_bob_cannot_corrupt_alice_total(self):
         result = split_source(PINGPONG_SOURCE, config_abt())
