@@ -1,0 +1,51 @@
+"""Microbenchmarks of the recursive-descent parser.
+
+The ROADMAP names parse as the #2 cost of the 200-seed sweep (~0.15s).
+These pin the effect of the memoized token-kind dispatch in isolation:
+statement dispatch (keyword table instead of an is_keyword chain),
+expression parsing (precedence climbing instead of the five-level
+cascade), and whole-program throughput over the benchmark corpus.
+"""
+
+import pytest
+
+from repro import progen
+from repro.lang.parser import parse_expr, parse_program, parse_stmt
+from repro.workloads import listcompare, ot, tax, work
+
+#: A deep expression: every level of the old cascade recursed through
+#: all five precedence tiers even for a bare operand.
+EXPR = "a + b * c - d / e % f + (g < h && i == j || k != l) + m * n - o"
+
+STMT = "if (x < 10) { y = y + 1; } else { while (z > 0) { z = z - 1; } }"
+
+CORPUS = [
+    listcompare.source(),
+    ot.source(),
+    tax.source(),
+    work.source(),
+] + [progen.generate_program(seed) for seed in range(20)]
+
+
+class TestParserDispatch:
+    def test_expression_precedence_climbing(self, benchmark):
+        expr = benchmark(lambda: parse_expr(EXPR))
+        assert expr is not None
+
+    def test_statement_keyword_dispatch(self, benchmark):
+        stmt = benchmark(lambda: parse_stmt(STMT))
+        assert stmt is not None
+
+
+class TestParserThroughput:
+    def test_workload_and_progen_corpus(self, benchmark):
+        def parse_all():
+            return [parse_program(source) for source in CORPUS]
+
+        programs = benchmark(parse_all)
+        assert len(programs) == len(CORPUS)
+
+    def test_largest_workload(self, benchmark):
+        source = ot.source(rounds=100)
+        program = benchmark(lambda: parse_program(source))
+        assert program.classes

@@ -162,6 +162,7 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
                 per_point=args.per_point,
                 crash_mode=args.crash_mode,
                 name=name,
+                jobs=args.jobs,
             )
             print(f"crash-point sweep over {name} "
                   f"(mode {args.crash_mode}):")
@@ -172,6 +173,7 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
                 base_seed=args.seed,
                 opt_level=args.opt_level,
                 name=name,
+                jobs=args.jobs,
             )
             print(f"fault sweep over {name} (base seed {args.seed}):")
         print(report.summary())
@@ -194,6 +196,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         out=args.out,
         baseline=args.compare,
         tolerance=args.tolerance,
+        jobs=args.jobs,
     )
 
 
@@ -267,6 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-point", type=int, default=2,
         help="receipt indices sampled per (host, kind) crash point",
     )
+    faultsweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (schedules and crash "
+             "points are independent; results are identical to --jobs 1)",
+    )
     faultsweep.set_defaults(func=cmd_faultsweep)
 
     bench = sub.add_parser(
@@ -284,6 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "wall-clock regressions against")
     bench.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed slowdown fraction vs the baseline")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the progen sweep "
+                            "(wall-clock lever only; baselines are "
+                            "recorded with --jobs 1)")
     bench.set_defaults(func=cmd_bench)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")

@@ -243,23 +243,26 @@ class Parser:
         return ast.Block(stmts, pos)
 
     def parse_stmt(self) -> ast.Stmt:
-        token = self._peek()
-        if token.is_op("{"):
+        # Dispatch on the leading token via the memoized keyword table
+        # (built once at class creation) instead of a chain of
+        # is_keyword probes.
+        token = self._tokens[self._index]
+        kind = token.kind
+        if kind == "{":
             return self._parse_block()
-        if token.is_keyword("if"):
-            return self._parse_if()
-        if token.is_keyword("while"):
-            return self._parse_while()
-        if token.is_keyword("for"):
-            return self._parse_for()
-        if token.is_keyword("return"):
-            self._next()
-            value = None if self._at(";") else self.parse_expr()
-            self._expect(";")
-            return ast.Return(value, token.pos)
+        if kind == "keyword":
+            handler = self._STMT_KEYWORDS.get(token.text)
+            if handler is not None:
+                return handler(self)
         if self._starts_declaration():
             return self._parse_var_decl()
         return self._parse_expr_or_assign()
+
+    def _parse_return(self) -> ast.Return:
+        token = self._next()
+        value = None if self._at(";") else self.parse_expr()
+        self._expect(";")
+        return ast.Return(value, token.pos)
 
     def _starts_declaration(self) -> bool:
         token = self._peek()
@@ -349,50 +352,42 @@ class Parser:
 
     # -- expressions -----------------------------------------------------------
 
+    #: operator kind -> binding power for the precedence-climbing
+    #: expression parser.  One table lookup replaces the five-level
+    #: recursive cascade (or → and → equality → relational → additive →
+    #: multiplicative); the resulting trees are identical.
+    _BINARY_PRECEDENCE = {
+        "||": 1,
+        "&&": 2,
+        "==": 3,
+        "!=": 3,
+        "<": 4,
+        "<=": 4,
+        ">": 4,
+        ">=": 4,
+        "+": 5,
+        "-": 5,
+        "*": 6,
+        "/": 6,
+        "%": 6,
+    }
+
     def parse_expr(self) -> ast.Expr:
-        return self._parse_or()
+        return self._parse_binary(1)
 
-    def _parse_or(self) -> ast.Expr:
-        left = self._parse_and()
-        while self._at("||"):
-            op = self._next()
-            left = ast.Binary("||", left, self._parse_and(), op.pos)
-        return left
-
-    def _parse_and(self) -> ast.Expr:
-        left = self._parse_equality()
-        while self._at("&&"):
-            op = self._next()
-            left = ast.Binary("&&", left, self._parse_equality(), op.pos)
-        return left
-
-    def _parse_equality(self) -> ast.Expr:
-        left = self._parse_relational()
-        while self._at("==") or self._at("!="):
-            op = self._next()
-            left = ast.Binary(op.kind, left, self._parse_relational(), op.pos)
-        return left
-
-    def _parse_relational(self) -> ast.Expr:
-        left = self._parse_additive()
-        while self._at("<") or self._at("<=") or self._at(">") or self._at(">="):
-            op = self._next()
-            left = ast.Binary(op.kind, left, self._parse_additive(), op.pos)
-        return left
-
-    def _parse_additive(self) -> ast.Expr:
-        left = self._parse_multiplicative()
-        while self._at("+") or self._at("-"):
-            op = self._next()
-            left = ast.Binary(op.kind, left, self._parse_multiplicative(), op.pos)
-        return left
-
-    def _parse_multiplicative(self) -> ast.Expr:
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
         left = self._parse_unary()
-        while self._at("*") or self._at("/") or self._at("%"):
+        precedences = self._BINARY_PRECEDENCE
+        while True:
+            kind = self._tokens[self._index].kind
+            precedence = precedences.get(kind)
+            if precedence is None or precedence < min_precedence:
+                return left
             op = self._next()
-            left = ast.Binary(op.kind, left, self._parse_unary(), op.pos)
-        return left
+            # All operators are left-associative: the right operand only
+            # absorbs strictly tighter operators.
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(kind, left, right, op.pos)
 
     def _parse_unary(self) -> ast.Expr:
         token = self._peek()
@@ -422,51 +417,9 @@ class Parser:
         return expr
 
     def _parse_primary(self) -> ast.Expr:
-        token = self._peek()
-        if token.kind == "int":
-            self._next()
-            return ast.IntLit(int(token.text), token.pos)
-        if token.is_keyword("true"):
-            self._next()
-            return ast.BoolLit(True, token.pos)
-        if token.is_keyword("false"):
-            self._next()
-            return ast.BoolLit(False, token.pos)
-        if token.is_keyword("null"):
-            self._next()
-            return ast.NullLit(token.pos)
-        if token.is_keyword("this"):
-            self._next()
-            self._expect(".")
-            field = self._expect_ident().text
-            return ast.FieldAccess(None, field, token.pos)
-        if token.is_keyword("new"):
-            self._next()
-            if self._at_keyword("int"):
-                self._next()
-                self._expect("[")
-                length = self.parse_expr()
-                self._expect("]")
-                return ast.NewArray(length, token.pos)
-            class_name = self._expect_ident().text
-            self._expect("(")
-            self._expect(")")
-            return ast.New(class_name, token.pos)
-        if token.is_keyword("declassify") or token.is_keyword("endorse"):
-            self._next()
-            self._expect("(")
-            expr = self.parse_expr()
-            self._expect(",")
-            label = self._parse_label()
-            self._expect(")")
-            node = ast.Declassify if token.text == "declassify" else ast.Endorse
-            return node(expr, label, token.pos)
-        if token.is_op("("):
-            self._next()
-            expr = self.parse_expr()
-            self._expect(")")
-            return expr
-        if token.kind == "ident":
+        token = self._tokens[self._index]
+        kind = token.kind
+        if kind == "ident":
             self._next()
             if self._at("("):
                 self._next()
@@ -479,10 +432,80 @@ class Parser:
                 self._expect(")")
                 return ast.Call(token.text, args, token.pos)
             return ast.Var(token.text, token.pos)
+        if kind == "int":
+            self._next()
+            return ast.IntLit(int(token.text), token.pos)
+        if kind == "keyword":
+            handler = self._PRIMARY_KEYWORDS.get(token.text)
+            if handler is not None:
+                return handler(self, token)
+        elif kind == "(":
+            self._next()
+            expr = self.parse_expr()
+            self._expect(")")
+            return expr
         raise ParseError(
             f"expected an expression, found {token.text or token.kind!r}",
             token.pos,
         )
+
+    def _parse_true(self, token: Token) -> ast.Expr:
+        self._next()
+        return ast.BoolLit(True, token.pos)
+
+    def _parse_false(self, token: Token) -> ast.Expr:
+        self._next()
+        return ast.BoolLit(False, token.pos)
+
+    def _parse_null(self, token: Token) -> ast.Expr:
+        self._next()
+        return ast.NullLit(token.pos)
+
+    def _parse_this(self, token: Token) -> ast.Expr:
+        self._next()
+        self._expect(".")
+        field = self._expect_ident().text
+        return ast.FieldAccess(None, field, token.pos)
+
+    def _parse_new(self, token: Token) -> ast.Expr:
+        self._next()
+        if self._at_keyword("int"):
+            self._next()
+            self._expect("[")
+            length = self.parse_expr()
+            self._expect("]")
+            return ast.NewArray(length, token.pos)
+        class_name = self._expect_ident().text
+        self._expect("(")
+        self._expect(")")
+        return ast.New(class_name, token.pos)
+
+    def _parse_downgrade(self, token: Token) -> ast.Expr:
+        self._next()
+        self._expect("(")
+        expr = self.parse_expr()
+        self._expect(",")
+        label = self._parse_label()
+        self._expect(")")
+        node = ast.Declassify if token.text == "declassify" else ast.Endorse
+        return node(expr, label, token.pos)
+
+    #: leading-keyword dispatch tables, memoized at class scope.
+    _STMT_KEYWORDS = {
+        "if": _parse_if,
+        "while": _parse_while,
+        "for": _parse_for,
+        "return": _parse_return,
+    }
+    _PRIMARY_KEYWORDS = {
+        "true": _parse_true,
+        "false": _parse_false,
+        "null": _parse_null,
+        "this": _parse_this,
+        "new": _parse_new,
+        "declassify": _parse_downgrade,
+        "endorse": _parse_downgrade,
+    }
 
 
 def parse_program(source: str) -> ast.Program:

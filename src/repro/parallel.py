@@ -1,0 +1,74 @@
+"""Shared-nothing parallel map for the bench and fault-sweep drivers.
+
+The sweeps this repo runs are embarrassingly parallel: every progen
+seed, fault schedule, and crash point is an independent simulation with
+no shared mutable state.  The one obstacle to ``multiprocessing`` is
+that a :class:`~repro.splitter.fragments.SplitProgram` holds compiled
+fragment closures, which do not pickle.  We therefore use the ``fork``
+start method and hand workers their heavyweight inputs through a
+module-level state dict that the fork inherits by memory copy — only
+the small per-item arguments (a seed, a crash-point triple) and the
+plain-data results cross the pickle boundary.
+
+``fork_map`` returns results in submission order, so aggregation in the
+caller is deterministic and independent of the worker count.  On
+platforms without ``fork`` (or for ``jobs <= 1``) it returns ``None``
+and the caller falls back to its serial loop, which uses the very same
+per-item function — the parallel path can never diverge from the serial
+one by more than scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Fork-inherited worker state.  Populated by :func:`fork_map` in the
+#: parent immediately before the pool forks, read by worker tasks via
+#: :func:`state`, and cleared before ``fork_map`` returns.
+_STATE: Dict[str, Any] = {}
+
+
+def state() -> Dict[str, Any]:
+    """The fork-inherited state dict, as seen from a worker task."""
+    return _STATE
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:
+        return False
+    return True
+
+
+def fork_map(
+    func: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: Optional[int],
+    state: Optional[Dict[str, Any]] = None,
+) -> Optional[List[Any]]:
+    """Map ``func`` over ``items`` with a pool of ``jobs`` forked workers.
+
+    Returns the results in input order, or ``None`` when the parallel
+    path is unavailable (``jobs <= 1``, a single item, or no ``fork``)
+    — the caller then runs its serial loop.  ``func`` must be a
+    module-level function; anything unpicklable it needs goes in
+    ``state`` and is read back with :func:`state`.
+    """
+    work = list(items)
+    if jobs is None or jobs <= 1 or len(work) <= 1:
+        return None
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    _STATE.clear()
+    if state:
+        _STATE.update(state)
+    try:
+        with ctx.Pool(min(jobs, len(work))) as pool:
+            return pool.map(func, work)
+    finally:
+        _STATE.clear()

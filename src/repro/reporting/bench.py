@@ -27,7 +27,7 @@ import sys
 import time
 from typing import Dict, Optional
 
-from .. import progen
+from .. import parallel, progen
 from ..lang.parser import parse_program
 from ..lang.typecheck import check_program
 from ..runtime import DistributedExecutor
@@ -89,8 +89,25 @@ def time_workload(source: str, config) -> Dict[str, object]:
     }
 
 
-def run_bench(seeds: int = DEFAULT_SEEDS, quiet: bool = False) -> Dict:
-    """The full benchmark suite: Table 1 workloads + progen sweep."""
+def _progen_task(seed: int) -> Dict[str, object]:
+    """Worker-side wrapper for one progen seed of the sweep."""
+    return time_workload(
+        progen.generate_program(seed), parallel.state()["config"]
+    )
+
+
+def run_bench(
+    seeds: int = DEFAULT_SEEDS, quiet: bool = False, jobs: int = 1
+) -> Dict:
+    """The full benchmark suite: Table 1 workloads + progen sweep.
+
+    With ``jobs > 1`` the progen sweep fans out over forked workers.
+    Message counts and simulated times are unaffected (each seed is an
+    independent simulation), but the per-stage second sums become CPU
+    time across workers rather than wall-clock, so checked-in baselines
+    (``BENCH_PR*.json``) are always recorded with ``jobs=1``; a parallel
+    run is a wall-clock lever for CI smoke, not a comparable baseline.
+    """
     # Untimed warmup: pay one-time costs (imports, regex compilation,
     # intern-table population) before the clock starts, so a --quick
     # run is comparable against a scaled full-length baseline.
@@ -100,6 +117,7 @@ def run_bench(seeds: int = DEFAULT_SEEDS, quiet: bool = False) -> Dict:
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "progen_seeds": seeds,
+        "jobs": jobs,
     }
     workloads: Dict[str, Dict] = {}
     for name, module in (
@@ -119,8 +137,18 @@ def run_bench(seeds: int = DEFAULT_SEEDS, quiet: bool = False) -> Dict:
     sweep_seconds["total"] = 0.0
     sweep_messages = 0
     config = progen.config()
-    for seed in range(seeds):
-        outcome = time_workload(progen.generate_program(seed), config)
+    outcomes = parallel.fork_map(
+        _progen_task, range(seeds), jobs, state={"config": config}
+    )
+    if outcomes is None:
+        outcomes = [
+            time_workload(progen.generate_program(seed), config)
+            for seed in range(seeds)
+        ]
+    # fork_map returns results in seed order, so this aggregation (and
+    # in particular the float additions) is identical for every jobs
+    # value — only the wall-clock magnitudes differ.
+    for outcome in outcomes:
         for stage, value in outcome["seconds"].items():
             sweep_seconds[stage] += value
         sweep_messages += outcome["messages"]
@@ -147,25 +175,49 @@ def run_bench(seeds: int = DEFAULT_SEEDS, quiet: bool = False) -> Dict:
     return report
 
 
+def _stage_totals(data: Dict, sweep_scale: float) -> Dict[str, float]:
+    """Per-stage seconds over the whole suite: the Table 1 workloads
+    plus the progen sweep scaled by ``sweep_scale`` (seed-count ratio)."""
+    totals = {}
+    for stage in STAGES:
+        totals[stage] = (
+            sum(w["seconds"][stage] for w in data["workloads"].values())
+            + data["progen"]["seconds"][stage] * sweep_scale
+        )
+    return totals
+
+
 def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
     """Regression gate: fail when the fresh run is slower than the
     checked-in numbers by more than ``tolerance`` (a fraction).
 
     The reference is scaled by the progen seed count so ``--quick`` runs
-    can be compared against a full-length baseline.
+    can be compared against a full-length baseline.  Three checks run:
+
+    * end-to-end wall-clock, gated at ``tolerance``;
+    * each pipeline stage, gated at ``2 * tolerance`` (stage-level
+      numbers are noisier than their sum, so a single-stage regression
+      must be larger to fail the gate on its own — but it is always
+      *reported*, so a slowdown hidden by a speedup elsewhere is
+      visible in the log);
+    * the run invariants (message counts and simulated times), which
+      must be bit-identical — an optimization PR may move wall-clock
+      only, never observable behaviour.
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     reference = baseline.get("current", baseline)
     ref_seeds = reference.get("progen_seeds", DEFAULT_SEEDS)
+    sweep_scale = report["progen_seeds"] / ref_seeds
+    failed = 0
+
+    measured = report["end_to_end_seconds"]
     ref_workloads = sum(
         w["seconds"]["total"] for w in reference["workloads"].values()
     )
-    ref_sweep = reference["progen"]["seconds"]["total"]
-    scaled_ref = ref_workloads + ref_sweep * (
-        report["progen_seeds"] / ref_seeds
+    scaled_ref = (
+        ref_workloads + reference["progen"]["seconds"]["total"] * sweep_scale
     )
-    measured = report["end_to_end_seconds"]
     ratio = measured / scaled_ref if scaled_ref else float("inf")
     print(
         f"bench: end-to-end {measured:.3f}s vs baseline "
@@ -177,8 +229,48 @@ def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
             f"by {100 * (ratio - 1):.0f}%",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = 1
+
+    stage_tolerance = 2 * tolerance
+    stages = _stage_totals(report, 1.0)
+    ref_stages = _stage_totals(reference, sweep_scale)
+    for stage in STAGES:
+        ref_value = ref_stages[stage]
+        stage_ratio = (
+            stages[stage] / ref_value if ref_value else float("inf")
+        )
+        verdict = ""
+        if stage_ratio > 1 + stage_tolerance:
+            verdict = "  REGRESSION"
+            failed = 1
+        print(
+            f"bench:   {stage:<9} {stages[stage]:.3f}s vs "
+            f"{ref_value:.3f}s (x{stage_ratio:.2f}){verdict}"
+        )
+        if verdict:
+            print(
+                f"bench: REGRESSION — {stage} stage exceeded the baseline "
+                f"by {100 * (stage_ratio - 1):.0f}% "
+                f"(stage tolerance x{1 + stage_tolerance:.2f})",
+                file=sys.stderr,
+            )
+
+    ref_invariants = reference.get("invariants")
+    if ref_invariants is not None and ref_invariants != report["invariants"]:
+        print(
+            "bench: INVARIANT DRIFT — message counts / simulated times "
+            "changed vs the baseline:",
+            file=sys.stderr,
+        )
+        for name in sorted(set(ref_invariants) | set(report["invariants"])):
+            expected = ref_invariants.get(name)
+            got = report["invariants"].get(name)
+            if expected != got:
+                print(
+                    f"bench:   {name}: {expected} -> {got}", file=sys.stderr
+                )
+        failed = 1
+    return failed
 
 
 def main(
@@ -186,8 +278,9 @@ def main(
     out: Optional[str] = None,
     baseline: Optional[str] = None,
     tolerance: float = 0.25,
+    jobs: int = 1,
 ) -> int:
-    report = run_bench(seeds=seeds)
+    report = run_bench(seeds=seeds, jobs=jobs)
     text = json.dumps(report, indent=2, sort_keys=True)
     if out:
         with open(out, "w") as handle:

@@ -22,6 +22,7 @@ import random
 from collections import Counter
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import parallel
 from ..splitter.fragments import SplitProgram
 from .executor import ExecutionResult, run_split_program
 from .faults import CrashPointInjector, FaultInjector, FaultPolicy
@@ -137,6 +138,60 @@ def assurance_problems(split: SplitProgram, outcome: ExecutionResult) -> List[st
     return problems
 
 
+def _run_schedule(
+    split: SplitProgram,
+    reference: Dict[Tuple[str, str], object],
+    seed: int,
+    opt_level: int,
+    policy_factory: Callable[[random.Random], FaultPolicy],
+) -> Tuple[ScheduleOutcome, Optional[str]]:
+    """One fault schedule; returns the outcome plus the untagged failure
+    line (``None`` unless the schedule is a failure)."""
+    policy = policy_factory(random.Random(seed))
+    faults = FaultInjector(policy, seed=seed)
+    token_rng = random.Random(seed ^ 0x5EED)
+    try:
+        outcome = run_split_program(
+            split, opt_level=opt_level, faults=faults, token_rng=token_rng
+        )
+    except DeliveryTimeoutError as error:
+        return ScheduleOutcome(
+            seed, policy, "timeout", str(error), {"crashes": faults.crashes}
+        ), None
+    except Exception as error:  # noqa: BLE001 — any other escape is a bug
+        return ScheduleOutcome(
+            seed, policy, "failure", repr(error)
+        ), f"seed={seed} {policy}: unexpected {error!r}"
+    problems: List[str] = []
+    for key, expected in reference.items():
+        got = outcome.field_value(*key)
+        if got != expected:
+            problems.append(
+                f"field {key[0]}.{key[1]} = {got!r}, expected "
+                f"{expected!r}"
+            )
+    problems.extend(assurance_problems(split, outcome))
+    if outcome.audits:
+        problems.append(f"audit log not empty: {outcome.audits}")
+    counts = dict(outcome.network.fault_counts)
+    if problems:
+        detail = "; ".join(problems)
+        return ScheduleOutcome(
+            seed, policy, "failure", detail, counts
+        ), f"seed={seed} {policy}: {detail}"
+    return ScheduleOutcome(seed, policy, "ok", fault_counts=counts), None
+
+
+def _schedule_task(seed: int) -> Tuple[ScheduleOutcome, Optional[str]]:
+    """Worker-side wrapper: the split program does not pickle (compiled
+    fragment closures), so it arrives via the fork-inherited state."""
+    state = parallel.state()
+    return _run_schedule(
+        state["split"], state["reference"], seed,
+        state["opt_level"], state["policy_factory"],
+    )
+
+
 def sweep(
     split: SplitProgram,
     schedules: int = 50,
@@ -144,57 +199,36 @@ def sweep(
     opt_level: int = 1,
     policy_factory: Callable[[random.Random], FaultPolicy] = random_policy,
     name: str = "",
+    jobs: int = 1,
 ) -> SweepReport:
-    """Run ``schedules`` seeded fault schedules against ``split``."""
-    report = SweepReport(reference_fields(split, opt_level=opt_level))
+    """Run ``schedules`` seeded fault schedules against ``split``.
+
+    With ``jobs > 1`` the schedules run in a shared-nothing pool of
+    forked workers; every schedule is seeded independently, so the
+    report is identical to a serial run regardless of ``jobs``.
+    """
+    reference = reference_fields(split, opt_level=opt_level)
+    report = SweepReport(reference)
     tag = f"{name} " if name else ""
-    for index in range(schedules):
-        seed = base_seed + index
-        policy = policy_factory(random.Random(seed))
-        faults = FaultInjector(policy, seed=seed)
-        token_rng = random.Random(seed ^ 0x5EED)
-        try:
-            outcome = run_split_program(
-                split, opt_level=opt_level, faults=faults, token_rng=token_rng
-            )
-        except DeliveryTimeoutError as error:
-            report.schedules.append(
-                ScheduleOutcome(
-                    seed, policy, "timeout", str(error),
-                    {"crashes": faults.crashes},
-                )
-            )
-            continue
-        except Exception as error:  # noqa: BLE001 — any other escape is a bug
-            report.schedules.append(
-                ScheduleOutcome(seed, policy, "failure", repr(error))
-            )
-            report.failures.append(
-                f"{tag}seed={seed} {policy}: unexpected {error!r}"
-            )
-            continue
-        problems: List[str] = []
-        for key, expected in report.reference.items():
-            got = outcome.field_value(*key)
-            if got != expected:
-                problems.append(
-                    f"field {key[0]}.{key[1]} = {got!r}, expected "
-                    f"{expected!r}"
-                )
-        problems.extend(assurance_problems(split, outcome))
-        if outcome.audits:
-            problems.append(f"audit log not empty: {outcome.audits}")
-        counts = dict(outcome.network.fault_counts)
-        if problems:
-            detail = "; ".join(problems)
-            report.schedules.append(
-                ScheduleOutcome(seed, policy, "failure", detail, counts)
-            )
-            report.failures.append(f"{tag}seed={seed} {policy}: {detail}")
-        else:
-            report.schedules.append(
-                ScheduleOutcome(seed, policy, "ok", fault_counts=counts)
-            )
+    seeds = [base_seed + index for index in range(schedules)]
+    results = parallel.fork_map(
+        _schedule_task, seeds, jobs,
+        state={
+            "split": split,
+            "reference": reference,
+            "opt_level": opt_level,
+            "policy_factory": policy_factory,
+        },
+    )
+    if results is None:
+        results = [
+            _run_schedule(split, reference, seed, opt_level, policy_factory)
+            for seed in seeds
+        ]
+    for outcome, failure in results:
+        report.schedules.append(outcome)
+        if failure is not None:
+            report.failures.append(tag + failure)
     return report
 
 
@@ -264,6 +298,85 @@ def _pick_occurrences(total: int, per_point: Optional[int]) -> List[int]:
     return sorted({round(i * step) for i in range(per_point)})
 
 
+def _run_crash_point(
+    split: SplitProgram,
+    point: Tuple[str, str, int],
+    opt_level: int,
+    crash_mode: str,
+    crash_downtime: float,
+    token_seed: int,
+    ref_fields: Dict[Tuple[str, str], object],
+    ref_depths: Dict[str, int],
+    baseline_problems: frozenset,
+) -> Tuple[CrashPointOutcome, Optional[str]]:
+    """One deterministic crash point; returns the outcome plus the
+    untagged failure line (``None`` unless the point is a failure)."""
+    dst, kind, occurrence = point
+    injector = CrashPointInjector(
+        dst, kind, occurrence,
+        crash_downtime=crash_downtime, crash_mode=crash_mode,
+    )
+    label = f"{dst}/{kind}@{occurrence}"
+    try:
+        outcome = run_split_program(
+            split, opt_level=opt_level, faults=injector,
+            token_rng=random.Random(token_seed),
+        )
+    except DeliveryTimeoutError as error:
+        return CrashPointOutcome(
+            dst, kind, occurrence, "timeout", str(error)
+        ), None
+    except Exception as error:  # noqa: BLE001 — any escape is a bug
+        return CrashPointOutcome(
+            dst, kind, occurrence, "failure", repr(error)
+        ), f"{label}: unexpected {error!r}"
+    problems: List[str] = []
+    if not injector.fired:
+        problems.append("crash point never reached")
+    for key, expected in ref_fields.items():
+        got = outcome.field_value(*key)
+        if got != expected:
+            problems.append(
+                f"field {key[0]}.{key[1]} = {got!r}, expected "
+                f"{expected!r}"
+            )
+    problems.extend(
+        p for p in assurance_problems(split, outcome)
+        if p not in baseline_problems
+    )
+    if outcome.audits:
+        problems.append(f"audit log not empty: {outcome.audits}")
+    for host, h in outcome.hosts.items():
+        if h.stack.depth != ref_depths[host]:
+            problems.append(
+                f"{host} ICS depth {h.stack.depth} != "
+                f"fault-free {ref_depths[host]}"
+            )
+    if crash_mode == "volatile" and injector.fired and not any(
+        event[0] == "recover"
+        for event in outcome.network.fault_events
+    ):
+        problems.append("no recovery event after a volatile crash")
+    if problems:
+        detail = "; ".join(problems)
+        return CrashPointOutcome(
+            dst, kind, occurrence, "failure", detail
+        ), f"{label}: {detail}"
+    return CrashPointOutcome(dst, kind, occurrence, "ok"), None
+
+
+def _crash_point_task(
+    point: Tuple[str, str, int]
+) -> Tuple[CrashPointOutcome, Optional[str]]:
+    """Worker-side wrapper; heavyweight inputs come via the fork state."""
+    state = parallel.state()
+    return _run_crash_point(
+        state["split"], point, state["opt_level"], state["crash_mode"],
+        state["crash_downtime"], state["token_seed"], state["ref_fields"],
+        state["ref_depths"], state["baseline_problems"],
+    )
+
+
 def crash_point_sweep(
     split: SplitProgram,
     opt_level: int = 1,
@@ -272,6 +385,7 @@ def crash_point_sweep(
     crash_downtime: float = 2e-3,
     name: str = "",
     token_seed: int = 0x5EED,
+    jobs: int = 1,
 ) -> CrashSweepReport:
     """Crash each host at each message-kind receipt boundary, recover,
     and check the run still ends bit-identical to fault-free.
@@ -282,6 +396,11 @@ def crash_point_sweep(
     Because :class:`~repro.runtime.faults.CrashPointInjector` injects no
     other fault, the pre-crash prefix of each run matches the reference
     exactly, so every enumerated point is guaranteed to fire.
+
+    With ``jobs > 1`` the crash points run in a shared-nothing pool of
+    forked workers; each point is fully determined by its
+    ``(host, kind, occurrence)`` triple, so the report is identical to
+    a serial run regardless of ``jobs``.
     """
     tag = f"{name} " if name else ""
     reference = run_split_program(
@@ -296,75 +415,41 @@ def crash_point_sweep(
     # Some workloads (e.g. medical) declassify data whose static label
     # the per-message instrumentation still flags; only flows the
     # fault-free run does NOT exhibit count against a crash point.
-    baseline_problems = set(assurance_problems(split, reference))
+    baseline_problems = frozenset(assurance_problems(split, reference))
     receipt_counts = Counter(
         (m.dst, m.kind)
         for m in reference.network.message_log
         if m.src != m.dst
     )
+    points = [
+        (dst, kind, occurrence)
+        for (dst, kind), total in sorted(receipt_counts.items())
+        for occurrence in _pick_occurrences(total, per_point)
+    ]
     report = CrashSweepReport(ref_fields)
-    for (dst, kind), total in sorted(receipt_counts.items()):
-        for occurrence in _pick_occurrences(total, per_point):
-            injector = CrashPointInjector(
-                dst, kind, occurrence,
-                crash_downtime=crash_downtime, crash_mode=crash_mode,
+    results = parallel.fork_map(
+        _crash_point_task, points, jobs,
+        state={
+            "split": split,
+            "opt_level": opt_level,
+            "crash_mode": crash_mode,
+            "crash_downtime": crash_downtime,
+            "token_seed": token_seed,
+            "ref_fields": ref_fields,
+            "ref_depths": ref_depths,
+            "baseline_problems": baseline_problems,
+        },
+    )
+    if results is None:
+        results = [
+            _run_crash_point(
+                split, point, opt_level, crash_mode, crash_downtime,
+                token_seed, ref_fields, ref_depths, baseline_problems,
             )
-            label = f"{tag}{dst}/{kind}@{occurrence}"
-            try:
-                outcome = run_split_program(
-                    split, opt_level=opt_level, faults=injector,
-                    token_rng=random.Random(token_seed),
-                )
-            except DeliveryTimeoutError as error:
-                report.points.append(
-                    CrashPointOutcome(
-                        dst, kind, occurrence, "timeout", str(error)
-                    )
-                )
-                continue
-            except Exception as error:  # noqa: BLE001 — any escape is a bug
-                report.points.append(
-                    CrashPointOutcome(
-                        dst, kind, occurrence, "failure", repr(error)
-                    )
-                )
-                report.failures.append(f"{label}: unexpected {error!r}")
-                continue
-            problems: List[str] = []
-            if not injector.fired:
-                problems.append("crash point never reached")
-            for key, expected in ref_fields.items():
-                got = outcome.field_value(*key)
-                if got != expected:
-                    problems.append(
-                        f"field {key[0]}.{key[1]} = {got!r}, expected "
-                        f"{expected!r}"
-                    )
-            problems.extend(
-                p for p in assurance_problems(split, outcome)
-                if p not in baseline_problems
-            )
-            if outcome.audits:
-                problems.append(f"audit log not empty: {outcome.audits}")
-            for host, h in outcome.hosts.items():
-                if h.stack.depth != ref_depths[host]:
-                    problems.append(
-                        f"{host} ICS depth {h.stack.depth} != "
-                        f"fault-free {ref_depths[host]}"
-                    )
-            if crash_mode == "volatile" and injector.fired and not any(
-                event[0] == "recover"
-                for event in outcome.network.fault_events
-            ):
-                problems.append("no recovery event after a volatile crash")
-            if problems:
-                detail = "; ".join(problems)
-                report.points.append(
-                    CrashPointOutcome(dst, kind, occurrence, "failure", detail)
-                )
-                report.failures.append(f"{label}: {detail}")
-            else:
-                report.points.append(
-                    CrashPointOutcome(dst, kind, occurrence, "ok")
-                )
+            for point in points
+        ]
+    for outcome, failure in results:
+        report.points.append(outcome)
+        if failure is not None:
+            report.failures.append(tag + failure)
     return report

@@ -12,7 +12,7 @@ consumers (never relayed through hosts not permitted to see it).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from . import ir
 from .fragments import (
@@ -29,11 +29,35 @@ from .fragments import (
 
 
 def _expr_vars(expr: Optional[ir.IRExpr]) -> Set[str]:
+    names: Set[str] = set()
     if expr is None:
-        return set()
-    return {
-        node.name for node in ir.walk_expr(expr) if isinstance(node, ir.VarUse)
-    }
+        return names
+    # Explicit-stack specialization of ir.walk_expr filtered to VarUse —
+    # this runs on every op of every fragment and dominates the
+    # fact-collection cost otherwise.
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        cls = type(node)
+        if cls is ir.VarUse:
+            names.add(node.name)
+        elif cls is ir.BinOp:
+            stack.append(node.left)
+            stack.append(node.right)
+        elif cls is ir.UnOp:
+            stack.append(node.operand)
+        elif cls is ir.ArrayUse:
+            stack.append(node.array)
+            stack.append(node.index)
+        elif cls is ir.ArrayLen:
+            stack.append(node.array)
+        elif cls is ir.NewArr:
+            stack.append(node.length)
+        elif cls is ir.DowngradeExpr:
+            stack.append(node.inner)
+        elif cls is ir.FieldUse and node.obj is not None:
+            stack.append(node.obj)
+    return names
 
 
 class _FragmentFacts:
@@ -120,16 +144,20 @@ def insert_forwards(
     """Insert :class:`OpForward` operations into ``fragments`` in place."""
     facts = _collect_facts(fragments, method_entries, program)
     # needed[entry] : var -> hosts that still need var's value at exit.
-    needed: Dict[str, Dict[str, FrozenSet[str]]] = {
+    needed: Dict[str, Dict[str, Set[str]]] = {
         entry: {} for entry in fragments
     }
+    hosts_of = {entry: fragment.host for entry, fragment in fragments.items()}
     # Backward dataflow to a fixpoint, worklist-driven: when an entry's
     # out-set changes, only its predecessors can be affected.
     predecessors: Dict[str, List[str]] = {}
     for entry, fact in facts.items():
         for successor in fact.successors:
             predecessors.setdefault(successor, []).append(entry)
-    pending = deque(fragments)
+    # Seed the backward analysis in reverse fragment order: successors
+    # mostly follow their predecessors in insertion order, so this
+    # converges in near one pass over acyclic regions.
+    pending = deque(reversed(fragments))
     queued = set(fragments)
     while pending:
         entry = pending.popleft()
@@ -138,15 +166,23 @@ def insert_forwards(
         merged: Dict[str, Set[str]] = {}
         for successor in fact.successors:
             succ_fact = facts[successor]
-            succ_host = fragments[successor].host
+            succ_host = hosts_of[successor]
+            succ_defs = succ_fact.defs
             for var in succ_fact.upward_uses:
-                merged.setdefault(var, set()).add(succ_host)
+                target = merged.get(var)
+                if target is None:
+                    merged[var] = {succ_host}
+                else:
+                    target.add(succ_host)
             for var, hosts in needed[successor].items():
-                if var not in succ_fact.defs:
-                    merged.setdefault(var, set()).update(hosts)
-        frozen = {var: frozenset(hosts) for var, hosts in merged.items()}
-        if frozen != needed[entry]:
-            needed[entry] = frozen
+                if var not in succ_defs:
+                    target = merged.get(var)
+                    if target is None:
+                        merged[var] = set(hosts)
+                    else:
+                        target.update(hosts)
+        if merged != needed[entry]:
+            needed[entry] = merged
             for predecessor in predecessors.get(entry, ()):
                 if predecessor not in queued:
                     queued.add(predecessor)

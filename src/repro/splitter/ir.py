@@ -204,17 +204,24 @@ class StmtInfo:
         "loop_depth",
     )
 
+    _BOTTOM: Optional[Label] = None
+    _NO_POS = SourcePosition(0, 0)
+    _NO_PRINCIPALS: FrozenSet[Principal] = frozenset()
+
     def __init__(self) -> None:
+        bottom = StmtInfo._BOTTOM
+        if bottom is None:
+            bottom = StmtInfo._BOTTOM = Label.constant()
         self.uid = next(_counter)
-        self.pc: Label = Label.constant()
-        self.l_in: Label = Label.constant()
+        self.pc: Label = bottom
+        self.l_in: Label = bottom
         self.l_out: Optional[Label] = None  # None = defines nothing (⊤ meet)
         self.used_vars: Set[str] = set()
         self.defined_vars: Set[str] = set()
         self.used_fields: Set[Tuple[str, str]] = set()
         self.defined_fields: Set[Tuple[str, str]] = set()
-        self.downgrade_principals: FrozenSet[Principal] = frozenset()
-        self.pos: SourcePosition = SourcePosition(0, 0)
+        self.downgrade_principals = StmtInfo._NO_PRINCIPALS
+        self.pos: SourcePosition = StmtInfo._NO_POS
         self.loop_depth: int = 0
 
     @property

@@ -20,6 +20,20 @@ from ..lang import ast
 from ..lang.typecheck import CheckedProgram
 from . import ir
 
+#: (expression labels, pc) -> joined L_in.  Labels are hash-consed and
+#: the join is purely structural (no acts-for hierarchy involved), so
+#: the cache never goes stale; statements overwhelmingly repeat the
+#: same few label combinations.
+_JOIN_CACHE: Dict[tuple, Label] = {}
+
+
+def _join_with_pc(labels: List[Label], pc: Label) -> Label:
+    key = (tuple(labels), pc)
+    result = _JOIN_CACHE.get(key)
+    if result is None:
+        result = _JOIN_CACHE[key] = join_all(labels + [pc])
+    return result
+
 
 class Lowerer:
     def __init__(self, checked: CheckedProgram) -> None:
@@ -303,7 +317,7 @@ class Lowerer:
         call.info.pos = expr.pos
         call.info.loop_depth = depth
         labels = [self.checked.expr_labels[id(arg)] for arg in expr.args]
-        call.info.l_in = join_all(labels + [pc])
+        call.info.l_in = _join_with_pc(labels, pc)
         for arg in args:
             self._collect_uses(arg, call.info)
         if result is not None:
@@ -329,7 +343,7 @@ class Lowerer:
         info.pos = stmt.pos
         info.loop_depth = depth
         labels = [self.checked.expr_labels[id(e)] for e in expr_asts]
-        info.l_in = join_all(labels + [pc])
+        info.l_in = _join_with_pc(labels, pc)
         expr_irs = []
         if isinstance(out, ir.AssignVar):
             expr_irs = [out.expr]
@@ -343,15 +357,37 @@ class Lowerer:
             self._collect_uses(expr_ir, info)
 
     def _collect_uses(self, expr: ir.IRExpr, info: ir.StmtInfo) -> None:
-        for node in ir.walk_expr(expr):
-            if isinstance(node, ir.VarUse):
-                info.used_vars.add(node.name)
-            elif isinstance(node, ir.FieldUse):
-                info.used_fields.add((node.cls, node.field))
-            elif isinstance(node, ir.DowngradeExpr):
+        # Explicit-stack specialization of ir.walk_expr — this runs for
+        # every expression of every lowered statement.
+        stack = [expr]
+        used_vars = info.used_vars
+        used_fields = info.used_fields
+        while stack:
+            node = stack.pop()
+            cls = type(node)
+            if cls is ir.VarUse:
+                used_vars.add(node.name)
+            elif cls is ir.BinOp:
+                stack.append(node.left)
+                stack.append(node.right)
+            elif cls is ir.FieldUse:
+                used_fields.add((node.cls, node.field))
+                if node.obj is not None:
+                    stack.append(node.obj)
+            elif cls is ir.UnOp:
+                stack.append(node.operand)
+            elif cls is ir.ArrayUse:
+                stack.append(node.array)
+                stack.append(node.index)
+            elif cls is ir.ArrayLen:
+                stack.append(node.array)
+            elif cls is ir.NewArr:
+                stack.append(node.length)
+            elif cls is ir.DowngradeExpr:
                 info.downgrade_principals = (
                     info.downgrade_principals | node.authority
                 )
+                stack.append(node.inner)
 
 
 def lower_program(checked: CheckedProgram) -> ir.IRProgram:

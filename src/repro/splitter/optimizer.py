@@ -23,6 +23,7 @@ transfers and field accesses".  We reproduce that scheme:
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Tuple
 
 from ..lang.typecheck import CheckedProgram
@@ -130,9 +131,14 @@ class Optimizer:
         }
         #: (field key, host) -> preference weight (pure in its inputs).
         self._preference_cache: Dict[Tuple[Tuple[str, str], str], float] = {}
-        #: (stmt uid, host) -> local cost, valid for one field placement;
-        #: bumping _field_generation invalidates it (see _place_fields).
+        #: (stmt uid, host) -> local cost, valid while the fields the
+        #: statement touches stay put (_place_fields drops exactly the
+        #: rows a moved field invalidates).
         self._cost_cache: Dict[Tuple[int, str], float] = {}
+        #: field key -> tuple of its access sites' hosts when the field
+        #: was last scored; unchanged sites ⇒ unchanged choice, so
+        #: _place_fields skips the rescore entirely.
+        self._field_site_hosts: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         self._collect_field_sites()
 
     def _collect_field_sites(self) -> None:
@@ -153,13 +159,27 @@ class Optimizer:
         the no-preference oblivious transfer, Section 6)."""
         best_cost = None
         best_assignment = None
+        first_initial = None
         for seed in ("overlap", "gravity"):
             self.assignment = Assignment()
             self._place_fields_initial(seed)
+            if seed == "overlap":
+                first_initial = dict(self.assignment.fields)
+            elif self.assignment.fields == first_initial:
+                # Identical starting placement ⇒ the whole (deterministic)
+                # pipeline repeats ⇒ same outcome as the first seed.
+                break
             for _ in range(_ROUNDS):
+                round_stmts = dict(self.assignment.statements)
+                round_fields = dict(self.assignment.fields)
                 self._assign_statements()
                 self._refine_with_cfg_edges()
                 self._place_fields()
+                if (
+                    self.assignment.statements == round_stmts
+                    and self.assignment.fields == round_fields
+                ):
+                    break  # a fixpoint round changes nothing further
             self._refine_with_cfg_edges()
             cost = self._total_cost()
             if best_cost is None or cost < best_cost:
@@ -257,23 +277,30 @@ class Optimizer:
             scores.sort()
             self.assignment.fields[key] = scores[0][1]
         self._cost_cache.clear()
+        self._field_site_hosts.clear()
 
     def _place_fields(self) -> None:
         link = self._link
+        statements = self.assignment.statements
+        moved: List[Tuple[str, str]] = []
         for key, hosts in self.candidates.fields.items():
+            sites = self._field_sites.get(key, [])
+            site_hosts = tuple(statements[s.info.uid] for s in sites)
+            if self._field_site_hosts.get(key) == site_hosts:
+                # Same access-site placement ⇒ same scores ⇒ same choice.
+                continue
+            self._field_site_hosts[key] = site_hosts
             pin = self._pinned_host(key)
             if pin is not None:
                 self.assignment.fields[key] = pin
                 continue
-            sites = self._field_sites.get(key, [])
             scores = []
             for host in hosts:
                 access_cost = 0.0
                 for stmt in sites:
-                    stmt_host = self.assignment.statements[stmt.info.uid]
                     access_cost += (
                         _FIELD_ACCESS_MESSAGES
-                        * link[stmt_host, host.name]
+                        * link[statements[stmt.info.uid], host.name]
                         * self._stmt_weight[stmt.info.uid]
                     )
                 score = (
@@ -281,9 +308,17 @@ class Optimizer:
                 ) * self._field_preference(key, host.name)
                 scores.append((score, host.name))
             scores.sort()
-            self.assignment.fields[key] = scores[0][1]
-        # Field placements feed statement-local costs; drop stale memos.
-        self._cost_cache.clear()
+            choice = scores[0][1]
+            if self.assignment.fields.get(key) != choice:
+                self.assignment.fields[key] = choice
+                moved.append(key)
+        # A moved field only stales the local costs of the statements
+        # that touch it; everything else keeps its memo.
+        for key in moved:
+            for stmt in self._field_sites.get(key, ()):
+                uid = stmt.info.uid
+                for host in self._stmt_hosts[uid]:
+                    self._cost_cache.pop((uid, host), None)
 
     # -- statement assignment ---------------------------------------------------------
 
@@ -330,26 +365,34 @@ class Optimizer:
                 continue
             self._assign_chain(chain)
 
-    def _refine_with_cfg_edges(self, sweeps: int = 4) -> None:
-        """Local-search refinement on the real CFG.
+    def _refine_with_cfg_edges(self, max_rounds: int = 64) -> None:
+        """Local-search refinement on the real CFG, worklist-driven.
 
         The chain DP approximates adjacency by program order and misses
         loop-back edges; this pass re-chooses each statement's host given
-        its true control-flow neighbors until stable (it is what parks a
-        loop guard next to the host it must sync each iteration)."""
+        its true control-flow neighbors (it is what parks a loop guard
+        next to the host it must sync each iteration).  A round only
+        revisits *dirty* statements — those whose neighbors moved in the
+        previous round — and runs until the worklist drains: a clean
+        statement sees the exact inputs of its last evaluation, so
+        skipping it cannot change the outcome.  Call statements track
+        the callee's moving entry host, so they stay dirty throughout.
+        ``max_rounds`` is a backstop against equal-cost oscillation, far
+        above any observed convergence depth."""
         link = self._link
         statements = self.assignment.statements
         for key, method_stmts in self._method_stmts.items():
-            stmts = {s.info.uid: s for s in method_stmts}
             neighbors = self._method_neighbors[key]
             # Non-call local costs depend only on the (fixed) field
-            # placement, so hoist them out of the sweep loop; call
-            # statements track the callee's moving entry host and are
-            # re-costed every sweep.
+            # placement, so hoist them out of the round loop; call
+            # statements are re-costed every round.
             local_costs: Dict[int, List[Tuple[str, float]]] = {}
             calls: Dict[int, ir.CallStmt] = {}
             zero_rows = self._zero_cost_rows
-            for uid, stmt in stmts.items():
+            order: List[int] = []
+            for stmt in method_stmts:
+                uid = stmt.info.uid
+                order.append(uid)
                 if isinstance(stmt, ir.CallStmt):
                     calls[uid] = stmt
                 elif uid in zero_rows:
@@ -359,12 +402,22 @@ class Optimizer:
                         (host, self._statement_local_cost(stmt, host))
                         for host in self._stmt_hosts[uid]
                     ]
-            for _ in range(sweeps):
+            # One persistent dirty set: a move marks its neighbors, and a
+            # marked statement later in the current pass is re-evaluated
+            # this pass (exactly the Gauss-Seidel order the full sweeps
+            # had); a marked statement earlier in order waits for the
+            # next pass.
+            dirty = set(order)
+            for _ in range(max_rounds):
                 changed = False
-                for uid, stmt in stmts.items():
+                for uid in order:
+                    if uid in dirty:
+                        dirty.discard(uid)
+                    elif uid not in calls:
+                        continue
                     if uid in calls:
                         candidates = [
-                            (host, self._statement_local_cost(stmt, host))
+                            (host, self._statement_local_cost(calls[uid], host))
                             for host in self._stmt_hosts[uid]
                         ]
                     else:
@@ -381,6 +434,9 @@ class Optimizer:
                     if best_host != statements[uid]:
                         statements[uid] = best_host
                         changed = True
+                        for other_uid, _weight in neighbors[uid]:
+                            if other_uid != uid:
+                                dirty.add(other_uid)
                 if not changed:
                     break
 
@@ -511,6 +567,34 @@ def assign_hosts(
     program: ir.IRProgram,
     config: TrustConfiguration,
     candidates: CandidateSets,
+    engine: Optional[str] = None,
 ) -> Assignment:
-    """Pick a host for every field and statement."""
-    return Optimizer(checked, program, config, candidates).run()
+    """Pick a host for every field and statement.
+
+    Engine selection (``engine`` argument, else the ``REPRO_MINCUT``
+    environment variable, else ``auto``):
+
+    * ``auto`` — exact min-cut when the instance reduces to two eligible
+      hosts (see :mod:`repro.splitter.mincut`), otherwise the chain-DP
+      heuristic.  This is the default: the exact path is both faster and
+      provably optimal where it applies.
+    * ``mincut`` — as ``auto``, but non-reducible instances additionally
+      get per-pair min-cut refinement of the heuristic result (never
+      worse than the heuristic, may move equal-cost plateaus).
+    * ``0`` / ``heuristic`` — the heuristic only, as an escape hatch.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_MINCUT", "auto") or "auto"
+    if engine in ("0", "off", "heuristic"):
+        return Optimizer(checked, program, config, candidates).run()
+    from .mincut import PlacementModel, refine_pairwise, try_exact
+
+    assignment = try_exact(checked, program, config, candidates)
+    if assignment is not None:
+        return assignment
+    heuristic = Optimizer(checked, program, config, candidates).run()
+    if engine == "mincut":
+        model = PlacementModel.build(checked, program, config, candidates)
+        hosts = refine_pairwise(model, model.assignment_hosts(heuristic))
+        return model.to_assignment(hosts)
+    return heuristic

@@ -48,8 +48,13 @@ class SplitResult:
 def split_program(
     source: Union[str, CheckedProgram],
     config: TrustConfiguration,
+    engine: Optional[str] = None,
 ) -> SplitResult:
-    """Partition a mini-Jif program for the given trust configuration."""
+    """Partition a mini-Jif program for the given trust configuration.
+
+    ``engine`` picks the host-assignment engine (``auto`` | ``mincut`` |
+    ``heuristic``); see :func:`repro.splitter.optimizer.assign_hosts`.
+    """
     if isinstance(source, str):
         checked = check_source(source, config.hierarchy)
         program_text = source
@@ -60,7 +65,7 @@ def split_program(
     if program.main_key is None:
         raise SplitError("program has no main method to start from")
     candidates = compute_candidates(checked, program, config)
-    assignment = assign_hosts(checked, program, config, candidates)
+    assignment = assign_hosts(checked, program, config, candidates, engine)
     fragments, entries = translate(program, assignment, config)
     insert_forwards(fragments, entries, program)
 
@@ -110,7 +115,7 @@ def split_program(
 
 
 def split_source(
-    source: str, config: TrustConfiguration
+    source: str, config: TrustConfiguration, engine: Optional[str] = None
 ) -> SplitResult:
     """Convenience wrapper returning the full :class:`SplitResult`."""
-    return split_program(source, config)
+    return split_program(source, config, engine)

@@ -34,22 +34,16 @@ class SplitError(Exception):
 
 def field_candidates(
     info: FieldInfo, config: TrustConfiguration
-) -> List[HostDescriptor]:
+) -> Tuple[HostDescriptor, ...]:
     """Hosts that may store field ``info`` (Sections 4.1–4.2)."""
     required_conf = C(info.label).join(info.loc_label)
     required_integ = I(info.label)
-    hierarchy = config.hierarchy
-    return [
-        host
-        for host in config.hosts
-        if required_conf.flows_to(host.conf, hierarchy)
-        and host.integ.flows_to(required_integ, hierarchy)
-    ]
+    return config.eligible_hosts(required_conf, required_integ)
 
 
 def statement_candidates(
     stmt: ir.IRStmt, config: TrustConfiguration
-) -> List[HostDescriptor]:
+) -> Tuple[HostDescriptor, ...]:
     """Hosts that may execute statement ``stmt`` (Sections 4.1 and 4.3)."""
     info = stmt.info
     required_conf = C(info.l_in)
@@ -68,13 +62,7 @@ def statement_candidates(
     # copy tmp1/tmp2 to the low-integrity host S (Section 4.2).
     if isinstance(stmt, ir.CallStmt):
         required_integ = required_integ.meet(I(info.pc))
-    hierarchy = config.hierarchy
-    return [
-        host
-        for host in config.hosts
-        if required_conf.flows_to(host.conf, hierarchy)
-        and host.integ.flows_to(required_integ, hierarchy)
-    ]
+    return config.eligible_hosts(required_conf, required_integ)
 
 
 def _describe_field_failure(
@@ -142,8 +130,10 @@ class CandidateSets:
     """Candidate hosts for every field and statement of a program."""
 
     def __init__(self) -> None:
-        self.fields: Dict[Tuple[str, str], List[HostDescriptor]] = {}
-        self.statements: Dict[int, List[HostDescriptor]] = {}
+        # Values are the shared tuples the TrustConfiguration's
+        # eligibility cache hands out — never mutate them in place.
+        self.fields: Dict[Tuple[str, str], Tuple[HostDescriptor, ...]] = {}
+        self.statements: Dict[int, Tuple[HostDescriptor, ...]] = {}
 
     def field_hosts(self, key: Tuple[str, str]) -> List[str]:
         return [h.name for h in self.fields[key]]

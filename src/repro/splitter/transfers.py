@@ -371,32 +371,80 @@ class Translator:
         return successors
 
     def _compute_entry_integrity(self, key: Tuple[str, str]) -> None:
-        """I_e over the local closure of each entry."""
+        """I_e over the local closure of each entry.
+
+        ``I_e(item)`` is the meet of ``_own_integ`` over every item in the
+        local-successor closure, so items in the same strongly connected
+        component share one value and an SCC's value is its members' meet
+        folded with its successor components' values.  Tarjan emits
+        components in reverse topological order, which makes the whole
+        pass a single linear sweep instead of one closure walk per entry.
+        """
         items = list(self._walk_items(self._method_seqs[key]))
-        # The closures of different entries overlap heavily; each item's
-        # own integrity is loop-invariant, so compute it once.
-        own_cache: Dict[int, IntegLabel] = {}
-        local_succ_cache: Dict[int, List[SegItem]] = {}
+        succs: Dict[int, List[SegItem]] = {}
+        own: Dict[int, IntegLabel] = {}
         for item in items:
-            integ = IntegLabel.untrusted()
-            seen = set()
-            frontier = [item]
-            while frontier:
-                current = frontier.pop()
-                if current.entry in seen:
+            succs[id(item)] = self._local_successors(item)
+            own[id(item)] = self._own_integ(item)
+        index: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        comp: Dict[int, int] = {}
+        comp_value: List[IntegLabel] = []
+        on_stack: set = set()
+        scc_stack: List[SegItem] = []
+        counter = 0
+        for root in items:
+            if id(root) in index:
+                continue
+            work: List[Tuple[SegItem, int]] = [(root, 0)]
+            while work:
+                node, child_pos = work[-1]
+                nid = id(node)
+                if child_pos == 0:
+                    index[nid] = low[nid] = counter
+                    counter += 1
+                    scc_stack.append(node)
+                    on_stack.add(nid)
+                descended = False
+                children = succs[nid]
+                while child_pos < len(children):
+                    child = children[child_pos]
+                    child_pos += 1
+                    cid = id(child)
+                    if cid not in index:
+                        work[-1] = (node, child_pos)
+                        work.append((child, 0))
+                        descended = True
+                        break
+                    if cid in on_stack and index[cid] < low[nid]:
+                        low[nid] = index[cid]
+                if descended:
                     continue
-                seen.add(current.entry)
-                own = own_cache.get(id(current))
-                if own is None:
-                    own = own_cache[id(current)] = self._own_integ(current)
-                integ = integ.meet(own)
-                successors = local_succ_cache.get(id(current))
-                if successors is None:
-                    successors = local_succ_cache[id(current)] = (
-                        self._local_successors(current)
-                    )
-                frontier.extend(successors)
-            self._entry_integ[item.entry] = integ
+                work.pop()
+                if work:
+                    parent_id = id(work[-1][0])
+                    if low[nid] < low[parent_id]:
+                        low[parent_id] = low[nid]
+                if low[nid] == index[nid]:
+                    number = len(comp_value)
+                    members: List[SegItem] = []
+                    while True:
+                        member = scc_stack.pop()
+                        on_stack.discard(id(member))
+                        comp[id(member)] = number
+                        members.append(member)
+                        if id(member) == nid:
+                            break
+                    value = IntegLabel.untrusted()
+                    for member in members:
+                        value = value.meet(own[id(member)])
+                        for child in succs[id(member)]:
+                            child_comp = comp[id(child)]
+                            if child_comp != number:
+                                value = value.meet(comp_value[child_comp])
+                    comp_value.append(value)
+        for item in items:
+            self._entry_integ[item.entry] = comp_value[comp[id(item)]]
             self._entry_pc[item.entry] = self._item_pc(item)
 
     def _walk_items(self, seq: List[SegItem]):

@@ -48,6 +48,11 @@ class TrustConfiguration:
         self._field_pins: Dict[Tuple[str, str], str] = {}
         #: (host, host) -> per-message cost override.
         self._link_costs: Dict[Tuple[str, str], float] = {}
+        #: (conf, integ, hierarchy cache_key) -> hosts passing the
+        #: Section 4 eligibility filter.  Labels are hash-consed, so the
+        #: key is cheap; cleared whenever the host set changes and
+        #: implicitly invalidated by the hierarchy version stamp.
+        self._eligible_cache: Dict[tuple, Tuple[HostDescriptor, ...]] = {}
         for host in hosts:
             self.add_host(host)
 
@@ -57,6 +62,7 @@ class TrustConfiguration:
         if host.name in self._hosts:
             raise TrustError(f"duplicate host {host.name!r}")
         self._hosts[host.name] = host
+        self._eligible_cache.clear()
 
     def host(self, name: str) -> HostDescriptor:
         if name not in self._hosts:
@@ -117,6 +123,30 @@ class TrustConfiguration:
         if a == b:
             return LOCAL_COST
         return self._link_costs.get((a, b), DEFAULT_REMOTE_COST)
+
+    def eligible_hosts(
+        self, required_conf: ConfLabel, required_integ: IntegLabel
+    ) -> Tuple[HostDescriptor, ...]:
+        """Hosts ``h`` with ``required_conf ⊑ C_h`` and ``I_h ⊑
+        required_integ`` — the Section 4 filter shared by field and
+        statement candidate selection, memoized per label pair.
+
+        Distinct fields/statements overwhelmingly share a handful of
+        label pairs, so the splitter's candidate pass collapses to a few
+        dictionary hits per program.
+        """
+        key = (required_conf, required_integ, self.hierarchy.cache_key)
+        hosts = self._eligible_cache.get(key)
+        if hosts is None:
+            hierarchy = self.hierarchy
+            hosts = tuple(
+                host
+                for host in self._hosts.values()
+                if required_conf.flows_to(host.conf, hierarchy)
+                and host.integ.flows_to(required_integ, hierarchy)
+            )
+            self._eligible_cache[key] = hosts
+        return hosts
 
     # -- Section 8: hash of splitter inputs ---------------------------------------
 
