@@ -9,8 +9,13 @@ Usage (also via ``python -m repro``)::
                                [--schedules N] [--seed S]
                                [--crash-points [--crash-mode MODE]
                                 [--per-point K]]
+    python -m repro bench [--quick] [--jobs N] [--compare BASELINE]
     python -m repro table1
     python -m repro fig4
+
+Repeated parses of byte-identical source are served from the frontend
+cache (``repro.lang.cache``); set ``REPRO_PARSE_CACHE=0`` to force every
+command onto the uncached lex/parse/typecheck path.
 
 The hosts file is JSON::
 
@@ -280,7 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="time the Table 1 workloads and a seeded progen sweep, "
-             "staged as parse/typecheck/split/execute",
+             "staged as parse/typecheck/split/execute; reports label "
+             "and frontend (parse) cache hit rates — set "
+             "REPRO_PARSE_CACHE=0 to bench the uncached frontend",
     )
     bench.add_argument("--quick", action="store_true",
                        help="short sweep for CI smoke runs")

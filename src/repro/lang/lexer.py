@@ -7,20 +7,42 @@ literals (``{Alice:; ?:Alice}``), ``declassify``/``endorse``, and
 punctuation; the parser reassembles them (it always knows from context
 whether a ``{`` opens a label or a block).
 
-The scanner is a single compiled regex driven by :func:`re.Match.match`
-— one C-level match per token instead of the previous char-by-char
-Python loop, which dominated the parse stage of the benchmark.  Line
-and column positions are recovered from a precomputed table of line
-start offsets.  The token stream (kinds, texts, positions, and both
-``LexError`` cases) is identical to the hand-written lexer it replaced.
+The scanner dispatches on the first character of each token through a
+precomputed category table, so the common cases — punctuation, names,
+numbers — never touch the regex engine's alternation machinery:
+punctuation is recognized by table lookup alone, and names, numbers,
+and whitespace/comment runs each use one small compiled sub-regex.
+This replaced a single big-alternation regex, whose per-token
+named-group dispatch dominated the parse stage of the benchmark; the
+token stream (kinds, texts, positions, and both ``LexError`` cases) is
+pinned bit-identical by ``tests/lang/test_lexer_differential.py``.
+
+Identifiers are ASCII-only (``[A-Za-z_][A-Za-z0-9_]*``), as are number
+literals: the documented mini-Jif token set never included non-ASCII
+source, and the earlier regex scanner's accidental acceptance of
+Unicode identifiers (``[^\\W\\d]\\w*`` matched ``café``) fed the
+pretty-printer and typechecker input they were never exercised on.
+Such input now raises :class:`LexError` at the offending character.
+
+Positions are 1-based (line, column) pairs.  Token positions are
+tracked incrementally (tokens arrive in offset order, so the current
+line advances monotonically); error and end-of-file positions are
+recovered by bisecting the precomputed line-start table.  The two
+derivations agree for every offset — both count the line starts at or
+before the offset — and ``tests/lang/test_lexer_differential.py``
+cross-checks them token by token over the whole corpus.
+
+Token tuples are cached per source digest (see ``lang/cache.py``);
+``REPRO_PARSE_CACHE=0`` disables the cache.
 """
 
 from __future__ import annotations
 
 import re
 from bisect import bisect_right
-from typing import Iterator, List, NamedTuple
+from typing import Iterator, List, NamedTuple, Sequence
 
+from . import cache as _frontend_cache
 from .errors import LexError, SourcePosition
 
 KEYWORDS = frozenset(
@@ -46,48 +68,34 @@ KEYWORDS = frozenset(
     }
 )
 
-# Multi-character operators first so maximal munch works by ordering.
-_OPERATORS = [
-    "&&",
-    "||",
-    "==",
-    "!=",
-    "<=",
-    ">=",
-    "{",
-    "}",
-    "(",
-    ")",
-    "[",
-    "]",
-    ",",
-    ";",
-    ":",
-    ".",
-    "?",
-    "=",
-    "<",
-    ">",
-    "+",
-    "-",
-    "*",
-    "/",
-    "%",
-    "!",
-]
+#: ``skip`` swallows whitespace and both comment forms in one match.  An
+#: unterminated ``/*`` fails the match and is diagnosed by the ``/``
+#: dispatch branch so it raises at the comment's start.
+_SKIP_RE = re.compile(r"(?:[ \t\r\n]+|//[^\n]*|/\*.*?\*/)+", re.DOTALL)
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"[0-9]+")
 
-#: One alternative per token class; ``skip`` swallows whitespace and
-#: both comment forms in one match.  An unterminated ``/*`` falls out of
-#: ``skip`` and is caught by the dedicated alternative so it can raise
-#: at the comment's start, exactly like the old lexer.
-_TOKEN_RE = re.compile(
-    r"(?P<skip>(?:[ \t\r\n]+|//[^\n]*|/\*.*?\*/)+)"
-    r"|(?P<badcomment>/\*)"
-    r"|(?P<name>[^\W\d]\w*)"
-    r"|(?P<num>\d+)"
-    r"|(?P<op>" + "|".join(re.escape(op) for op in _OPERATORS) + r")",
-    re.DOTALL,
-)
+#: First-character dispatch categories.
+_SKIP, _SLASH, _NAME, _NUM, _PUNCT, _MAYBE_EQ, _DOUBLED = range(7)
+
+_CATEGORY = {}
+for _ch in " \t\r\n":
+    _CATEGORY[_ch] = _SKIP
+_CATEGORY["/"] = _SLASH
+for _ch in "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_":
+    _CATEGORY[_ch] = _NAME
+for _ch in "0123456789":
+    _CATEGORY[_ch] = _NUM
+#: Always a single-character token (``/`` is handled by its own branch,
+#: and ``&``/``|`` exist only doubled).
+for _ch in "{}()[],;:.?+-*%":
+    _CATEGORY[_ch] = _PUNCT
+#: One-char token, or two-char when followed by ``=``.
+for _ch in "=!<>":
+    _CATEGORY[_ch] = _MAYBE_EQ
+for _ch in "&|":
+    _CATEGORY[_ch] = _DOUBLED
+del _ch
 
 
 class Token(NamedTuple):
@@ -106,11 +114,12 @@ EOF_KIND = "<eof>"
 
 
 class Lexer:
-    """A regex-driven maximal-munch lexer with ``//`` and ``/* */`` comments."""
+    """A table-dispatched maximal-munch lexer with ``//`` and ``/* */``
+    comments."""
 
     def __init__(self, source: str) -> None:
         self._source = source
-        # Offsets where each line begins; line/column of any token are
+        # Offsets where each line begins; line/column of any offset are
         # recovered by bisecting this table.
         starts = [0]
         index = source.find("\n")
@@ -120,6 +129,12 @@ class Lexer:
         self._line_starts = starts
 
     def _pos(self, offset: int) -> SourcePosition:
+        """Position of ``offset``, 1-based, via the line-start table.
+
+        ``bisect_right`` counts the line starts ≤ ``offset`` — the same
+        quantity the incremental tracker in :meth:`scan` maintains, so
+        error positions computed here always agree with token positions.
+        """
         line = bisect_right(self._line_starts, offset)
         return SourcePosition(line, offset - self._line_starts[line - 1] + 1)
 
@@ -129,57 +144,92 @@ class Lexer:
     def scan(self) -> List[Token]:
         source = self._source
         length = len(source)
-        match = _TOKEN_RE.match
+        category = _CATEGORY.get
+        skip = _SKIP_RE.match
+        name_match = _NAME_RE.match
+        num_match = _NUM_RE.match
         keywords = KEYWORDS
+        token = Token
+        position = SourcePosition
         starts = self._line_starts
         n_lines = len(starts)
         result: List[Token] = []
         append = result.append
         # Tokens arrive in offset order, so the current line is tracked
-        # incrementally instead of bisecting per token.
+        # incrementally instead of bisecting per token: ``line_start``
+        # is the offset where the current line begins and ``next_start``
+        # where the following one does (or past-the-end when on the
+        # last line, so the catch-up test is a single comparison).
         line = 1
+        line_start = 0
+        next_start = starts[1] if n_lines > 1 else length + 1
         index = 0
         while index < length:
-            found = match(source, index)
-            if found is None:
-                raise LexError(
-                    f"unexpected character {source[index]!r}", self._pos(index)
-                )
-            group = found.lastgroup
-            if group == "skip":
-                index = found.end()
-                continue
-            if group == "badcomment":
-                raise LexError("unterminated block comment", self._pos(index))
-            text = found.group()
-            if group == "name":
+            ch = source[index]
+            cat = category(ch)
+            if cat == _NAME:
+                found = name_match(source, index)
+                text = found.group()
                 kind = "keyword" if text in keywords else "ident"
-            elif group == "num":
+                end = found.end()
+            elif cat == _PUNCT:
+                kind = text = ch
+                end = index + 1
+            elif cat == _SKIP or cat == _SLASH:
+                found = skip(source, index)
+                if found is not None:
+                    index = found.end()
+                    continue
+                # Only "/" can fail the skip match: it is a division
+                # operator unless it opens a comment that never closes.
+                if source.startswith("/*", index):
+                    raise LexError(
+                        "unterminated block comment", self._pos(index)
+                    )
+                kind = text = "/"
+                end = index + 1
+            elif cat == _NUM:
+                found = num_match(source, index)
+                text = found.group()
                 kind = "int"
+                end = found.end()
+            elif cat == _MAYBE_EQ:
+                end = index + 1
+                if end < length and source[end] == "=":
+                    end += 1
+                kind = text = source[index:end]
+            elif cat == _DOUBLED:
+                end = index + 2
+                if source[index + 1 : end] != ch:
+                    raise LexError(
+                        f"unexpected character {ch!r}", self._pos(index)
+                    )
+                kind = text = ch + ch
             else:
-                kind = text
-            while line < n_lines and starts[line] <= index:
-                line += 1
-            append(
-                Token(
-                    kind,
-                    text,
-                    SourcePosition(line, index - starts[line - 1] + 1),
+                raise LexError(
+                    f"unexpected character {ch!r}", self._pos(index)
                 )
-            )
-            index = found.end()
-        while line < n_lines and starts[line] <= length:
-            line += 1
-        append(
-            Token(
-                EOF_KIND,
-                "",
-                SourcePosition(line, length - starts[line - 1] + 1),
-            )
-        )
+            while index >= next_start:
+                line += 1
+                line_start = next_start
+                next_start = starts[line] if line < n_lines else length + 1
+            append(token(kind, text, position(line, index - line_start + 1)))
+            index = end
+        append(token(EOF_KIND, "", self._pos(length)))
         return result
 
 
-def tokenize(source: str) -> List[Token]:
-    """Tokenize ``source``, appending a single end-of-file token."""
-    return Lexer(source).scan()
+def tokenize(source: str) -> Sequence[Token]:
+    """Tokenize ``source``, appending a single end-of-file token.
+
+    Returns an immutable tuple, cached per content digest; set
+    ``REPRO_PARSE_CACHE=0`` to disable the cache.
+    """
+    if not _frontend_cache.enabled():
+        return tuple(Lexer(source).scan())
+    key = _frontend_cache.digest(source)
+    tokens = _frontend_cache.lookup_tokens(key)
+    if tokens is None:
+        tokens = tuple(Lexer(source).scan())
+        _frontend_cache.store_tokens(key, tokens)
+    return tokens

@@ -11,6 +11,7 @@ from typing import List, Optional
 
 from ..labels import ConfLabel, ConfPolicy, IntegLabel, Label, Principal
 from . import ast
+from . import cache as _frontend_cache
 from .errors import ParseError
 from .lexer import EOF_KIND, Token, tokenize
 
@@ -509,8 +510,20 @@ class Parser:
 
 
 def parse_program(source: str) -> ast.Program:
-    """Parse a complete mini-Jif program."""
-    return Parser(source).parse_program()
+    """Parse a complete mini-Jif program.
+
+    The resulting AST is cached per content digest and shared across
+    repeated parses of byte-identical source (every consumer treats it
+    as immutable); set ``REPRO_PARSE_CACHE=0`` to disable the cache.
+    """
+    if not _frontend_cache.enabled():
+        return Parser(source).parse_program()
+    key = _frontend_cache.digest(source)
+    program = _frontend_cache.lookup_ast(key)
+    if program is None:
+        program = Parser(source).parse_program()
+        _frontend_cache.store_ast(key, program)
+    return program
 
 
 def parse_stmt(source: str) -> ast.Stmt:

@@ -28,6 +28,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 #: :func:`state`, and cleared before ``fork_map`` returns.
 _STATE: Dict[str, Any] = {}
 
+#: Whether a :func:`fork_map` call is currently using ``_STATE``.  The
+#: module-level dict is process-global, so a nested or concurrent call
+#: would silently clobber the outer call's worker state; :func:`fork_map`
+#: fails fast instead.
+_ACTIVE = False
+
 
 def state() -> Dict[str, Any]:
     """The fork-inherited state dict, as seen from a worker task."""
@@ -47,7 +53,7 @@ def fork_map(
     func: Callable[[Any], Any],
     items: Iterable[Any],
     jobs: Optional[int],
-    state: Optional[Dict[str, Any]] = None,
+    shared: Optional[Dict[str, Any]] = None,
 ) -> Optional[List[Any]]:
     """Map ``func`` over ``items`` with a pool of ``jobs`` forked workers.
 
@@ -55,7 +61,16 @@ def fork_map(
     path is unavailable (``jobs <= 1``, a single item, or no ``fork``)
     — the caller then runs its serial loop.  ``func`` must be a
     module-level function; anything unpicklable it needs goes in
-    ``state`` and is read back with :func:`state`.
+    ``shared`` and is read back with :func:`state`.  Any process-wide
+    cache populated before the call — the label-lattice memos, the
+    frontend parse cache — is inherited warm by the workers through the
+    fork's memory copy, so callers should build their heavyweight
+    inputs (parsed programs, split results) *before* fanning out.
+
+    ``fork_map`` is not re-entrant: the fork-inherited state dict is
+    process-global, so a nested call (from a worker task, or from
+    concurrently driven sweeps in one process) raises ``RuntimeError``
+    rather than silently corrupting the outer call's worker state.
     """
     work = list(items)
     if jobs is None or jobs <= 1 or len(work) <= 1:
@@ -64,11 +79,19 @@ def fork_map(
         ctx = multiprocessing.get_context("fork")
     except ValueError:
         return None
+    global _ACTIVE
+    if _ACTIVE:
+        raise RuntimeError(
+            "nested fork_map call: the fork-inherited state dict is "
+            "process-global and already in use"
+        )
+    _ACTIVE = True
     _STATE.clear()
-    if state:
-        _STATE.update(state)
+    if shared:
+        _STATE.update(shared)
     try:
         with ctx.Pool(min(jobs, len(work))) as pool:
             return pool.map(func, work)
     finally:
         _STATE.clear()
+        _ACTIVE = False

@@ -205,7 +205,10 @@ def sweep(
 
     With ``jobs > 1`` the schedules run in a shared-nothing pool of
     forked workers; every schedule is seeded independently, so the
-    report is identical to a serial run regardless of ``jobs``.
+    report is identical to a serial run regardless of ``jobs``.  The
+    split program (and with it every frontend-cache and label-cache
+    entry its construction populated) is built in the parent before the
+    pool forks, so workers inherit warm caches by memory copy.
     """
     reference = reference_fields(split, opt_level=opt_level)
     report = SweepReport(reference)
@@ -213,7 +216,7 @@ def sweep(
     seeds = [base_seed + index for index in range(schedules)]
     results = parallel.fork_map(
         _schedule_task, seeds, jobs,
-        state={
+        shared={
             "split": split,
             "reference": reference,
             "opt_level": opt_level,
@@ -429,7 +432,7 @@ def crash_point_sweep(
     report = CrashSweepReport(ref_fields)
     results = parallel.fork_map(
         _crash_point_task, points, jobs,
-        state={
+        shared={
             "split": split,
             "opt_level": opt_level,
             "crash_mode": crash_mode,

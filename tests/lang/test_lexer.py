@@ -71,3 +71,83 @@ class TestTokens:
         source = "int{Bob:} transfer{?:Alice} (int{Bob:} n)"
         assert "ident" in kinds(source)
         assert kinds(source).count("{") == 3
+
+    def test_division_operator(self):
+        assert kinds("a / b") == ["ident", "/", "ident"]
+
+    def test_lone_ampersand_and_pipe_raise(self):
+        for source in ("a & b", "a | b"):
+            with pytest.raises(LexError):
+                tokenize(source)
+
+
+class TestAsciiIdentifiers:
+    """The documented token set is ASCII; the earlier regex scanner's
+    ``[^\\W\\d]\\w*`` accidentally accepted Unicode identifiers that the
+    pretty-printer and typechecker were never exercised on."""
+
+    def test_ascii_identifiers_accepted(self):
+        assert kinds("caf_e9 _x A9z") == ["ident", "ident", "ident"]
+
+    def test_non_ascii_identifier_raises(self):
+        with pytest.raises(LexError) as err:
+            tokenize("int café;")
+        # The ASCII prefix lexes as an identifier; the error pinpoints
+        # the first non-ASCII character.
+        assert (err.value.pos.line, err.value.pos.column) == (1, 8)
+
+    def test_non_ascii_identifier_start_raises(self):
+        with pytest.raises(LexError):
+            tokenize("é")
+
+    def test_non_ascii_digit_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x = ٣;")  # ARABIC-INDIC DIGIT THREE
+
+
+class TestErrorAndEofPositions:
+    """Regression suite for position recovery at end-of-input: the
+    incremental line tracking and the bisect-based ``_pos`` recovery
+    must agree, and columns are 1-based everywhere."""
+
+    def test_empty_source_eof_position(self):
+        token = tokenize("")[0]
+        assert (token.pos.line, token.pos.column) == (1, 1)
+
+    def test_eof_after_token_without_trailing_newline(self):
+        eof = tokenize("ab")[-1]
+        assert eof.kind == "<eof>"
+        assert (eof.pos.line, eof.pos.column) == (1, 3)
+
+    def test_eof_after_trailing_newline_starts_next_line(self):
+        eof = tokenize("a\n")[-1]
+        assert (eof.pos.line, eof.pos.column) == (2, 1)
+
+    def test_eof_after_blank_lines(self):
+        eof = tokenize("a\n\n\n")[-1]
+        assert (eof.pos.line, eof.pos.column) == (4, 1)
+
+    def test_eof_after_trailing_comment(self):
+        eof = tokenize("a // trailing")[-1]
+        assert (eof.pos.line, eof.pos.column) == (1, 14)
+
+    def test_token_on_final_unterminated_line(self):
+        tokens = tokenize("a\nbc")
+        assert (tokens[1].pos.line, tokens[1].pos.column) == (2, 1)
+        eof = tokens[-1]
+        assert (eof.pos.line, eof.pos.column) == (2, 3)
+
+    def test_unterminated_block_comment_at_eof_position(self):
+        with pytest.raises(LexError) as err:
+            tokenize("x\n  /* never ends")
+        assert (err.value.pos.line, err.value.pos.column) == (2, 3)
+
+    def test_unterminated_block_comment_after_trailing_newline(self):
+        with pytest.raises(LexError) as err:
+            tokenize("x\n/*")
+        assert (err.value.pos.line, err.value.pos.column) == (2, 1)
+
+    def test_unexpected_character_on_final_line(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a\n @")
+        assert (err.value.pos.line, err.value.pos.column) == (2, 2)

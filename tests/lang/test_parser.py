@@ -3,7 +3,14 @@
 import pytest
 
 from repro.labels import Label, Principal
-from repro.lang import ParseError, ast, parse_expr, parse_program, parse_stmt
+from repro.lang import (
+    LexError,
+    ParseError,
+    ast,
+    parse_expr,
+    parse_program,
+    parse_stmt,
+)
 
 
 class TestExpressions:
@@ -230,6 +237,45 @@ class TestProgramStructure:
     def test_missing_class_brace_rejected(self):
         with pytest.raises(ParseError):
             parse_program("class C int x;")
+
+
+class TestErrorPositions:
+    """Diagnostics carry the precise 1-based position, including at
+    end-of-input (where the EOF pseudo-token supplies the location)."""
+
+    def test_empty_source_reports_line_one_column_one(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("")
+        assert "empty program" in err.value.message
+        assert (err.value.pos.line, err.value.pos.column) == (1, 1)
+
+    def test_blank_source_reports_eof_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("\n\n")
+        assert (err.value.pos.line, err.value.pos.column) == (3, 1)
+
+    def test_error_at_eof_after_trailing_newline(self):
+        # The class never closes; the parser runs into EOF, whose
+        # position is the line after the trailing newline.
+        with pytest.raises(ParseError) as err:
+            parse_program("class C {\nint x;\n")
+        assert (err.value.pos.line, err.value.pos.column) == (3, 1)
+
+    def test_error_at_eof_on_final_unterminated_line(self):
+        source = "class C {\nint x;"
+        with pytest.raises(ParseError) as err:
+            parse_program(source)
+        assert (err.value.pos.line, err.value.pos.column) == (2, 7)
+
+    def test_unterminated_block_comment_at_eof(self):
+        with pytest.raises(LexError) as err:
+            parse_program("class C { int x; }\n/* dangling")
+        assert (err.value.pos.line, err.value.pos.column) == (2, 1)
+
+    def test_unexpected_token_position_mid_line(self):
+        with pytest.raises(ParseError) as err:
+            parse_stmt("x = ;")
+        assert (err.value.pos.line, err.value.pos.column) == (1, 5)
 
 
 FIGURE2 = """

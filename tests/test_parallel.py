@@ -1,0 +1,78 @@
+"""The shared-nothing fork_map driver: shadowing fix and re-entrancy.
+
+PR5 renamed ``fork_map``'s ``state`` parameter (it shadowed the
+module-level :func:`repro.parallel.state` helper inside the function
+body) to ``shared`` and made the process-global ``_STATE`` dict fail
+fast on nested use instead of silently corrupting the outer call's
+worker state.
+"""
+
+import pytest
+
+from repro import parallel
+
+fork_only = pytest.mark.skipif(
+    not parallel.fork_available(),
+    reason="no fork start method on this platform",
+)
+
+
+def _echo_shared(item):
+    """Worker task: proves the state() helper resolves inside workers."""
+    return (item, parallel.state().get("key"))
+
+
+def _nested_call(item):
+    """Worker task that illegally re-enters fork_map."""
+    parallel.fork_map(_echo_shared, [1, 2, 3], 2, shared={"key": "inner"})
+    return item
+
+
+@fork_only
+class TestForkMap:
+    def test_shared_dict_reaches_workers_via_state(self):
+        results = parallel.fork_map(
+            _echo_shared, [10, 20, 30], 2, shared={"key": "value"}
+        )
+        assert results == [(10, "value"), (20, "value"), (30, "value")]
+
+    def test_state_cleared_and_guard_released_after_run(self):
+        parallel.fork_map(_echo_shared, [1, 2], 2, shared={"key": "v"})
+        assert parallel.state() == {}
+        assert not parallel._ACTIVE
+        # A follow-up call is fine: the guard only rejects *nested* use.
+        assert parallel.fork_map(
+            _echo_shared, [3, 4], 2, shared={"key": "w"}
+        ) == [(3, "w"), (4, "w")]
+
+    def test_nested_call_from_worker_raises(self):
+        with pytest.raises(RuntimeError, match="nested fork_map"):
+            parallel.fork_map(_nested_call, [1, 2], 2, shared={})
+
+    def test_concurrent_call_in_same_process_raises(self):
+        parallel._ACTIVE = True
+        try:
+            with pytest.raises(RuntimeError, match="nested fork_map"):
+                parallel.fork_map(_echo_shared, [1, 2], 2, shared={})
+        finally:
+            parallel._ACTIVE = False
+
+    def test_serial_fallback_ignores_the_guard(self):
+        # jobs<=1 (and single-item) calls return None before touching
+        # the shared state, so they stay legal even mid-fork_map.
+        parallel._ACTIVE = True
+        try:
+            assert parallel.fork_map(_echo_shared, [1, 2], 1) is None
+            assert parallel.fork_map(_echo_shared, [1], 8) is None
+        finally:
+            parallel._ACTIVE = False
+
+
+def test_state_helper_not_shadowed():
+    """The module-level helper is callable and returns the live dict —
+    the old ``state`` parameter shadowed it inside fork_map's body."""
+    assert parallel.state() is parallel._STATE
+    import inspect
+
+    params = inspect.signature(parallel.fork_map).parameters
+    assert "shared" in params and "state" not in params
