@@ -15,7 +15,12 @@ Usage (also via ``python -m repro``)::
 
 Repeated parses of byte-identical source are served from the frontend
 cache (``repro.lang.cache``); set ``REPRO_PARSE_CACHE=0`` to force every
-command onto the uncached lex/parse/typecheck path.
+command onto the uncached lex/parse/typecheck path.  Repeated *splits*
+of the same (program, trust configuration, engine) triple are served
+from the whole-pipeline split cache (``repro.splitter.cache``); set
+``REPRO_SPLIT_CACHE=0`` to disable it, or point
+``REPRO_SPLIT_CACHE_DIR`` at a directory to persist split artifacts
+across runs (digest-verified on load).
 
 The hosts file is JSON::
 
@@ -126,7 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_faultsweep(args: argparse.Namespace) -> int:
-    from .runtime.faultsweep import crash_point_sweep, sweep
+    from .runtime.faultsweep import crash_point_sweep, split_for_sweep, sweep
     from .workloads import ot
 
     if args.program:
@@ -156,13 +161,13 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
     exit_code = 0
     for name, source, config in targets:
         try:
-            result = split_source(source, config)
+            split = split_for_sweep(source, config)
         except (JifError, SplitError) as error:
             print(f"REJECTED: {error}", file=sys.stderr)
             return 1
         if args.crash_points:
             report = crash_point_sweep(
-                result.split,
+                split,
                 opt_level=args.opt_level,
                 per_point=args.per_point,
                 crash_mode=args.crash_mode,
@@ -173,7 +178,7 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
                   f"(mode {args.crash_mode}):")
         else:
             report = sweep(
-                result.split,
+                split,
                 schedules=args.schedules,
                 base_seed=args.seed,
                 opt_level=args.opt_level,
@@ -285,9 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench",
         help="time the Table 1 workloads and a seeded progen sweep, "
-             "staged as parse/typecheck/split/execute; reports label "
-             "and frontend (parse) cache hit rates — set "
-             "REPRO_PARSE_CACHE=0 to bench the uncached frontend",
+             "staged as parse/typecheck/split/execute; reports label, "
+             "frontend (parse), and split cache hit rates — set "
+             "REPRO_PARSE_CACHE=0 / REPRO_SPLIT_CACHE=0 to bench the "
+             "uncached paths, REPRO_SPLIT_CACHE_DIR to persist split "
+             "artifacts across runs",
     )
     bench.add_argument("--quick", action="store_true",
                        help="short sweep for CI smoke runs")

@@ -61,6 +61,12 @@ def _cache_stats() -> Dict[str, Dict[str, int]]:
         pass
     else:
         merged.update(frontend_stats())
+    try:
+        from ..splitter.cache import stats as split_stats
+    except ImportError:
+        pass
+    else:
+        merged.update(split_stats())
     return merged
 
 
@@ -77,6 +83,12 @@ def _reset_cache_stats() -> None:
         pass
     else:
         reset_frontend_stats()
+    try:
+        from ..splitter.cache import reset_stats as reset_split_stats
+    except ImportError:
+        pass
+    else:
+        reset_split_stats()
 
 
 def time_workload(source: str, config) -> Dict[str, object]:
@@ -129,10 +141,11 @@ def run_bench(
     # Untimed warmup: pay one-time costs (imports, regex compilation,
     # intern-table population) before the clock starts, so a --quick
     # run is comparable against a scaled full-length baseline.  The
-    # warmup also seeds the frontend parse cache with progen seed 0;
-    # counter resets below keep the warmup out of the reported rates
-    # but deliberately leave the cached artifacts in place (that reuse
-    # is exactly what the cache layer is for).
+    # warmup also seeds the frontend parse cache and the whole-pipeline
+    # split cache with progen seed 0; counter resets below keep the
+    # warmup out of the reported rates but deliberately leave the
+    # cached artifacts in place (that reuse is exactly what the cache
+    # layers are for).
     time_workload(progen.generate_program(0), progen.config())
     _reset_cache_stats()
     report: Dict[str, object] = {
@@ -323,6 +336,19 @@ def main(
         )
         print(f"bench: frontend cache hits {summary} "
               f"(REPRO_PARSE_CACHE=0 disables)")
+    split_tiers = {
+        name: entry
+        for name, entry in report.get("cache", {}).items()
+        if name.startswith("split.")
+    }
+    if split_tiers:
+        summary = ", ".join(
+            f"{name.split('.', 1)[1]} {entry['hits']}/{entry['hits'] + entry['misses']}"
+            for name, entry in sorted(split_tiers.items())
+        )
+        print(f"bench: split cache hits {summary} "
+              f"(REPRO_SPLIT_CACHE=0 disables, "
+              f"REPRO_SPLIT_CACHE_DIR enables the disk tier)")
     if baseline:
         return compare(report, baseline, tolerance)
     return 0

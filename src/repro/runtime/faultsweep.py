@@ -29,6 +29,24 @@ from .faults import CrashPointInjector, FaultInjector, FaultPolicy
 from .network import DeliveryTimeoutError
 
 
+def split_for_sweep(source: str, config, engine: Optional[str] = None) -> SplitProgram:
+    """Partition ``source`` for a sweep, through the whole-pipeline
+    split cache.
+
+    Sweep drivers re-split the same (source, config) pair across CLI
+    invocations and parallel sweeps; routing them through
+    :func:`repro.splitter.partition.split_source` means a warm
+    ``REPRO_SPLIT_CACHE_DIR`` serves the split from the artifact tier
+    instead of re-running the splitter.  The rehydrated split is
+    observably identical to a fresh compile (pinned by
+    ``tests/splitter/test_split_cache.py``), so sweep verdicts cannot
+    depend on how the split was obtained.
+    """
+    from ..splitter.partition import split_source
+
+    return split_source(source, config, engine).split
+
+
 def random_policy(rng: random.Random) -> FaultPolicy:
     """Draw one fault schedule's knobs; spans mild to fairly hostile."""
     policy = FaultPolicy(

@@ -66,13 +66,17 @@ class TestForwardPlacement:
           }
         }
         """
-        # Pin the heuristic engine: the exact min-cut finds an equal-cost
-        # placement that co-locates the chain and never forwards at all,
-        # which would leave this dataflow property unexercised.
-        split = split_source(source, config_abt(), engine="heuristic").split
+        from repro.runtime import run_split_program
+
+        # Engine-agnostic: a co-locating placement forwards nothing, a
+        # splitting placement forwards exactly once — but the *stale*
+        # definition is never sent under any engine.
+        split = split_source(source, config_abt()).split
         forwards = forwards_of(split)
-        # Only the final definition's fragment forwards v.
-        assert len(forwards.get("v", [])) == 1
+        assert len(forwards.get("v", [])) <= 1
+        # Whatever the placement, the consumer saw the redefined value.
+        outcome = run_split_program(split)
+        assert outcome.field_value("F", "both") == 5
 
     def test_loop_carried_value_reaches_consumer(self):
         """The per-iteration value crosses hosts one way or another —
@@ -93,17 +97,29 @@ class TestForwardPlacement:
         }
         """
         from repro.runtime import run_split_program
+        from repro.splitter.fragments import OpAssignVar
 
-        # Heuristic engine: the exact min-cut co-locates the loop with the
-        # joint field, so nothing would cross hosts (an equal-cost optimum).
-        result = split_source(source, config_abt(), engine="heuristic")
-        outcome = run_split_program(result.split)
+        # Engine-agnostic: an engine may legitimately co-locate the loop
+        # with the joint field (an equal-cost optimum under min-cut), in
+        # which case nothing needs to cross; otherwise the per-iteration
+        # value crosses at least once per iteration.
+        split = split_source(source, config_abt()).split
+        outcome = run_split_program(split)
         assert outcome.field_value("F", "joint") == 0 + 2  # a=0 default
-        counts = outcome.counts
-        crossings = (
-            counts["forward"] + counts["getField"] + counts["setField"]
+        joint_host = split.fields[("F", "joint")].host
+        defining_hosts = {
+            fragment.host
+            for fragment in split.fragments.values()
+            for op in fragment.ops
+            if isinstance(op, OpAssignVar) and op.var == "va"
+        }
+        # The message optimizer may piggyback the forward onto control
+        # transfers ("eliminated"), so the engine-independent witness of
+        # the crossing is remote traffic, not the forward count alone.
+        assert (
+            defining_hosts <= {joint_host}
+            or outcome.counts["total_messages"] >= 3
         )
-        assert crossings >= 3  # once per iteration, some way
 
     def test_arg_hosts_empty_for_unused_param(self):
         source = """
