@@ -10,6 +10,7 @@ Usage (also via ``python -m repro``)::
                                [--crash-points [--crash-mode MODE]
                                 [--per-point K]]
     python -m repro bench [--quick] [--jobs N] [--compare BASELINE]
+                          [--throughput [--sessions N]]
     python -m repro table1
     python -m repro fig4
 
@@ -201,12 +202,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         seeds = args.seeds
     else:
         seeds = bench.DEFAULT_SEEDS
+    throughput_sessions = None
+    if args.throughput:
+        from .reporting import throughput
+
+        if args.sessions is not None:
+            throughput_sessions = args.sessions
+        elif args.quick:
+            throughput_sessions = throughput.QUICK_SESSIONS
+        else:
+            throughput_sessions = throughput.DEFAULT_SESSIONS
     return bench.main(
         seeds=seeds,
         out=args.out,
         baseline=args.compare,
         tolerance=args.tolerance,
         jobs=args.jobs,
+        throughput_sessions=throughput_sessions,
     )
 
 
@@ -306,6 +318,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "wall-clock regressions against")
     bench.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed slowdown fraction vs the baseline")
+    bench.add_argument("--throughput", action="store_true",
+                       help="also run the many-session throughput suite "
+                            "(pooled sessions over shared runtime images "
+                            "vs per-run reconstruction, with p50/p99 "
+                            "latency and scaling sweeps)")
+    bench.add_argument("--sessions", type=int, default=None,
+                       help="sessions per workload for --throughput "
+                            "(default 2000; --quick uses 200)")
     bench.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the progen sweep "
                             "(wall-clock lever only; baselines are "

@@ -54,6 +54,7 @@ def fork_map(
     items: Iterable[Any],
     jobs: Optional[int],
     shared: Optional[Dict[str, Any]] = None,
+    chunksize: Optional[int] = None,
 ) -> Optional[List[Any]]:
     """Map ``func`` over ``items`` with a pool of ``jobs`` forked workers.
 
@@ -63,9 +64,18 @@ def fork_map(
     module-level function; anything unpicklable it needs goes in
     ``shared`` and is read back with :func:`state`.  Any process-wide
     cache populated before the call — the label-lattice memos, the
-    frontend parse cache — is inherited warm by the workers through the
-    fork's memory copy, so callers should build their heavyweight
-    inputs (parsed programs, split results) *before* fanning out.
+    frontend parse cache, memoized :class:`~repro.runtime.session.
+    RuntimeImage` artifacts hanging off a split — is inherited warm by
+    the workers through the fork's memory copy, so callers should build
+    their heavyweight inputs (parsed programs, split results, runtime
+    images) *before* fanning out.
+
+    ``chunksize`` tunes how many items each worker claims at a time.
+    Leave it ``None`` for ``multiprocessing``'s default (good for the
+    progen sweep's hundreds of uniform small items); pass ``1`` when
+    the items are few and heavy — the throughput harness's per-job
+    session shards — so one slow shard cannot serialize behind another
+    on the same worker.
 
     ``fork_map`` is not re-entrant: the fork-inherited state dict is
     process-global, so a nested call (from a worker task, or from
@@ -91,6 +101,8 @@ def fork_map(
         _STATE.update(shared)
     try:
         with ctx.Pool(min(jobs, len(work))) as pool:
+            if chunksize is not None:
+                return pool.map(func, work, chunksize=chunksize)
             return pool.map(func, work)
     finally:
         _STATE.clear()

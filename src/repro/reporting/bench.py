@@ -227,7 +227,7 @@ def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
     checked-in numbers by more than ``tolerance`` (a fraction).
 
     The reference is scaled by the progen seed count so ``--quick`` runs
-    can be compared against a full-length baseline.  Three checks run:
+    can be compared against a full-length baseline.  Four checks run:
 
     * end-to-end wall-clock, gated at ``tolerance``;
     * each pipeline stage, gated at ``2 * tolerance`` (stage-level
@@ -237,10 +237,25 @@ def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
       visible in the log);
     * the run invariants (message counts and simulated times), which
       must be bit-identical — an optimization PR may move wall-clock
-      only, never observable behaviour.
+      only, never observable behaviour;
+    * when both sides carry a ``throughput`` section: aggregate
+      sessions/sec at ``tolerance``, per-workload p50/p99 latency at
+      ``2 * tolerance``, and the throughput invariants (per-session
+      oracle observables) bit-identical.
+
+    Baselines in the normalized schema have top-level ``baseline`` /
+    ``current`` / ``jobs`` keys; legacy flat files (every section at the
+    top level, e.g. BENCH_PR5.json) are still accepted with a warning.
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
+    if "current" not in baseline:
+        print(
+            f"bench: warning — {baseline_path} uses the legacy flat "
+            "schema (no baseline/current/jobs envelope); reading its "
+            "top level as the reference run",
+            file=sys.stderr,
+        )
     reference = baseline.get("current", baseline)
     ref_seeds = reference.get("progen_seeds", DEFAULT_SEEDS)
     sweep_scale = report["progen_seeds"] / ref_seeds
@@ -305,6 +320,59 @@ def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
                     f"bench:   {name}: {expected} -> {got}", file=sys.stderr
                 )
         failed = 1
+
+    failed |= _compare_throughput(report, reference, tolerance)
+    return failed
+
+
+def _compare_throughput(report: Dict, reference: Dict, tolerance: float) -> int:
+    """The throughput gates (no-op unless both runs measured throughput)."""
+    measured = report.get("throughput")
+    ref = reference.get("throughput")
+    if measured is None or ref is None:
+        return 0
+    failed = 0
+
+    rate = measured["aggregate"]["sessions_per_sec"]
+    ref_rate = ref["aggregate"]["sessions_per_sec"]
+    ratio = ref_rate / rate if rate else float("inf")
+    print(
+        f"bench: throughput {rate:.0f} sessions/s vs baseline "
+        f"{ref_rate:.0f}/s (x{ratio:.2f}, tolerance x{1 + tolerance:.2f})"
+    )
+    if ratio > 1 + tolerance:
+        print(
+            "bench: REGRESSION — aggregate sessions/sec fell "
+            f"{100 * (ratio - 1):.0f}% below the baseline",
+            file=sys.stderr,
+        )
+        failed = 1
+
+    latency_tolerance = 2 * tolerance
+    for name in sorted(ref.get("workloads", {})):
+        if name not in measured.get("workloads", {}):
+            continue
+        for quantile in ("p50", "p99"):
+            got = measured["workloads"][name]["latency"][quantile]
+            want = ref["workloads"][name]["latency"][quantile]
+            q_ratio = got / want if want else float("inf")
+            verdict = ""
+            if q_ratio > 1 + latency_tolerance:
+                verdict = "  REGRESSION"
+                failed = 1
+            print(
+                f"bench:   {name:<9} {quantile} {got * 1e3:.3f}ms vs "
+                f"{want * 1e3:.3f}ms (x{q_ratio:.2f}){verdict}"
+            )
+
+    ref_inv = ref.get("invariants")
+    if ref_inv is not None and ref_inv != measured.get("invariants"):
+        print(
+            "bench: THROUGHPUT INVARIANT DRIFT — per-session oracle "
+            "observables changed vs the baseline",
+            file=sys.stderr,
+        )
+        failed = 1
     return failed
 
 
@@ -314,9 +382,26 @@ def main(
     baseline: Optional[str] = None,
     tolerance: float = 0.25,
     jobs: int = 1,
+    throughput_sessions: Optional[int] = None,
 ) -> int:
     report = run_bench(seeds=seeds, jobs=jobs)
-    text = json.dumps(report, indent=2, sort_keys=True)
+    if throughput_sessions is not None:
+        from .throughput import run_throughput
+
+        report["throughput"] = run_throughput(
+            sessions=throughput_sessions, jobs=jobs
+        )
+    # Normalized bench JSON schema: every written report carries the
+    # same top-level envelope — ``baseline`` (what this run was gated
+    # against, or null), ``current`` (this run), ``jobs``.  compare()
+    # still accepts legacy flat files (pre-envelope baselines) with a
+    # warning.
+    envelope = {
+        "baseline": {"path": baseline} if baseline else None,
+        "current": report,
+        "jobs": jobs,
+    }
+    text = json.dumps(envelope, indent=2, sort_keys=True)
     if out:
         with open(out, "w") as handle:
             handle.write(text + "\n")
@@ -324,6 +409,15 @@ def main(
     else:
         print(text)
     print(f"bench: end-to-end {report['end_to_end_seconds']:.3f}s")
+    throughput = report.get("throughput")
+    if throughput:
+        aggregate = throughput["aggregate"]
+        print(
+            f"bench: throughput {aggregate['sessions_per_sec']:.0f} "
+            f"sessions/s over {aggregate['sessions']} sessions "
+            f"(x{aggregate['speedup_vs_naive']:.2f} vs per-run "
+            "reconstruction)"
+        )
     frontend = {
         name: entry
         for name, entry in report.get("cache", {}).items()

@@ -13,6 +13,12 @@ from .faultsweep import (
 )
 from .host import HaltSignal, TrustedHost
 from .ics import LocalStack
+from .session import (
+    MultiSessionDriver,
+    RuntimeImage,
+    Session,
+    SessionPool,
+)
 from .network import (
     CostModel,
     DeliveryTimeoutError,
@@ -45,6 +51,10 @@ __all__ = [
     "HaltSignal",
     "TrustedHost",
     "LocalStack",
+    "MultiSessionDriver",
+    "RuntimeImage",
+    "Session",
+    "SessionPool",
     "CostModel",
     "DeliveryTimeoutError",
     "Message",

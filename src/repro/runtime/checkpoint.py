@@ -200,6 +200,27 @@ class DurableStore:
         self.checkpoints_taken += 1
         return checkpoint
 
+    def reset(self, interval: Optional[int] = None) -> None:
+        """Clear the store in place for session recycling.
+
+        Drops the checkpoint, the WAL, and the sealed counters back to
+        their freshly constructed values — the recycled session is a new
+        storage lifetime, not a continuation, so winding ``high_water``
+        back here is not a rollback the tamper check must catch.  The
+        host key (via the shared factory) is deliberately kept: it is a
+        per-(split, registry) artifact of the runtime image.
+        """
+        if interval is not None:
+            if interval < 1:
+                raise ValueError("checkpoint interval must be >= 1")
+            self.interval = interval
+        self.checkpoint = None
+        self.wal.clear()
+        self.high_water = 0
+        self.recoveries = 0
+        self.processed = 0
+        self.checkpoints_taken = 0
+
     # -- recovery path -----------------------------------------------------
 
     def load(self) -> Tuple[Dict[str, Any], List[Tuple]]:

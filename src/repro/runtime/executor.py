@@ -5,92 +5,42 @@ Good hosts preserve the source program's sequential execution (Section
 message queue.  Execution starts at the main method's entry, holding
 the root capability ``t0`` (as host T does in Figure 4); consuming
 ``t0`` ends the program.
+
+The executor is a thin wrapper over the session runtime
+(:mod:`repro.runtime.session`): constructing one resolves — and
+memoizes on the split — the shared :class:`RuntimeImage` holding every
+immutable per-program artifact (compiled fragments, derived key
+material, entry ACLs, initial field values, precomputed label checks),
+then runs as one :class:`Session` over it.  Repeated executions of the
+same split therefore share artifacts automatically; a serving loop that
+wants more should drive a :class:`~repro.runtime.session.SessionPool`
+directly.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Optional
 
 from ..splitter.fragments import SplitProgram
 from ..trust import KeyRegistry
 from .faults import FaultInjector
-from .host import ExecutionState, HaltSignal, TrustedHost
-from .network import CostModel, SimNetwork
-from .values import FrameID
+from .host import TrustedHost
+from .network import CostModel
+from .session import ExecutionResult, RuntimeImage, Session
 
-_MAX_STEPS = 2_000_000
-
-#: Default for ExecutionResult accessors: raise on a missing name.
-_RAISE = object()
+__all__ = ["DistributedExecutor", "ExecutionResult", "run_split_program"]
 
 
-class ExecutionResult:
-    """Everything observable about one distributed run."""
+class DistributedExecutor(Session):
+    """Sets up hosts for a split program and drives the control loop.
 
-    def __init__(
-        self,
-        network: SimNetwork,
-        hosts: Dict[str, TrustedHost],
-        main_frame: FrameID,
-    ) -> None:
-        self.network = network
-        self.hosts = hosts
-        self.main_frame = main_frame
-
-    @property
-    def elapsed(self) -> float:
-        return self.network.clock
-
-    @property
-    def counts(self) -> Dict[str, int]:
-        return self.network.table_counts()
-
-    @property
-    def audits(self):
-        return self.network.audit_log
-
-    def field_value(
-        self,
-        cls: str,
-        field: str,
-        oid: Optional[int] = None,
-        default: Any = _RAISE,
-    ) -> Any:
-        """The stored value of a field (from whichever host holds it).
-
-        Raises :class:`KeyError` when no host stores the field; pass
-        ``default=`` to get a fallback value instead.
-        """
-        for host in self.hosts.values():
-            key = (cls, field, oid)
-            if key in host.field_store:
-                return host.field_store[key]
-        if default is not _RAISE:
-            return default
-        raise KeyError(f"field {cls}.{field} not found on any host")
-
-    def var_value(self, frame: FrameID, var: str, default: Any = _RAISE) -> Any:
-        """The value of a frame variable (from any host's copy).
-
-        Raises :class:`KeyError` when no host's frame copy binds the
-        variable — a silent ``None`` here has historically masked typos
-        in test assertions.  Pass ``default=`` to get a fallback value
-        instead.
-        """
-        for host in self.hosts.values():
-            frame_copy = host.frames.get(frame)
-            if frame_copy is not None and var in frame_copy["vars"]:
-                return frame_copy["vars"][var]
-        if default is not _RAISE:
-            return default
-        raise KeyError(f"variable {var!r} not bound in any copy of {frame!r}")
-
-    def main_var(self, var: str, default: Any = _RAISE) -> Any:
-        return self.var_value(self.main_frame, var, default)
-
-
-class DistributedExecutor:
-    """Sets up hosts for a split program and drives the control loop."""
+    Signature-compatible with the pre-session executor: same
+    constructor parameters, same :meth:`run` semantics, same attributes
+    (``split``, ``network``, ``registry``, ``hosts``).  The immutable
+    setup now comes from :meth:`RuntimeImage.for_split`, so two
+    executors over the same split share one image — including one
+    :class:`~repro.trust.KeyRegistry` when none is passed explicitly.
+    """
 
     def __init__(
         self,
@@ -103,60 +53,18 @@ class DistributedExecutor:
         quarantine: bool = False,
         checkpoint_interval: int = 4,
     ) -> None:
-        self.split = split
-        self.network = SimNetwork(cost_model, faults=faults)
-        #: opt in to the quarantine layer: a rejected remote request
-        #: raises SecurityAbort and blacklists the offender instead of
-        #: being silently ignored.
-        self.network.quarantine_enabled = quarantine
-        self.registry = registry or KeyRegistry()
-        self.hosts: Dict[str, TrustedHost] = {}
-        for descriptor in split.config.hosts:
-            self.hosts[descriptor.name] = TrustedHost(
-                descriptor.name,
-                split,
-                self.network,
-                self.registry,
-                opt_level=opt_level,
-                token_rng=token_rng,
-                checkpoint_interval=checkpoint_interval,
-            )
+        super().__init__(
+            RuntimeImage.for_split(split, registry),
+            cost_model=cost_model,
+            opt_level=opt_level,
+            faults=faults,
+            token_rng=token_rng,
+            quarantine=quarantine,
+            checkpoint_interval=checkpoint_interval,
+        )
 
     def host(self, name: str) -> TrustedHost:
         return self.hosts[name]
-
-    def run(self) -> ExecutionResult:
-        """Execute the program to completion."""
-        assert self.split.main_entry is not None
-        main_host = self.hosts[self.split.main_host]
-        main_key = self.split.fragments[self.split.main_entry].method_key
-        main_frame = FrameID(main_key)
-        # The root capability t0: consuming it halts the program.
-        root = main_host.factory.mint(main_frame, self.split.main_entry)
-        main_host.adopt_root(root)
-        state = ExecutionState(self.split.main_entry, main_frame, root)
-        halted = False
-        try:
-            main_host.run_chain(state)
-        except HaltSignal:
-            halted = True
-        steps = 0
-        while not halted:
-            message = self.network.pop_control()
-            if message is None:
-                raise RuntimeError(
-                    "distributed execution stalled: no control message "
-                    "pending and the program has not halted"
-                )
-            handler = self.hosts[message.dst]
-            try:
-                handler.handle(message)
-            except HaltSignal:
-                halted = True
-            steps += 1
-            if steps > _MAX_STEPS:
-                raise RuntimeError("execution exceeded the step budget")
-        return ExecutionResult(self.network, self.hosts, main_frame)
 
 
 def run_split_program(
@@ -174,6 +82,17 @@ def run_split_program(
     (fail closed) — never a wrong answer.  With ``quarantine`` set, a
     detected protocol violation raises
     :class:`~repro.runtime.network.SecurityAbort` instead of stalling.
+
+    **Key-reuse contract.** Every call over the same split shares that
+    split's memoized :class:`RuntimeImage`, including its
+    :class:`~repro.trust.KeyRegistry`: per-host HMAC keys are derived
+    once per image, not once per call (the registry duplication the old
+    per-run construction paid).  This is safe because keys never appear
+    in any observable — tokens are minted fresh per session (nonces come
+    from ``token_rng``/``os.urandom``), and nothing outlives the
+    session that minted it.  A caller that *wants* distinct key material
+    (e.g. to model key rotation) passes its own registry to
+    :class:`DistributedExecutor`.
     """
     return DistributedExecutor(
         split, cost_model=cost_model, opt_level=opt_level, faults=faults,

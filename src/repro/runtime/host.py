@@ -97,19 +97,23 @@ class TrustedHost:
         opt_level: int = 1,
         token_rng=None,
         checkpoint_interval: int = 4,
+        image=None,
     ) -> None:
         self.name = name
         self.split = split
         self.network = network
         self.opt_level = opt_level
+        #: this host's slice of a shared RuntimeImage (immutable per-split
+        #: artifacts: entry tables, invoker ACLs, initial field values,
+        #: precomputed forward integrity checks).  None for a standalone
+        #: host, which computes the same artifacts for itself below.
+        self._image = image
         self.factory = TokenFactory(name, registry, rng=token_rng)
         self.stack = LocalStack()
         #: idempotency table: processed msg_id -> result.  Under the
         #: volatile crash mode it is rebuilt from the durable store's
         #: WAL, so retransmissions stay suppressed across a crash.
         self._seen_requests: Dict[int, Any] = {}
-        #: fields stored here: (cls, field, oid) -> value.
-        self.field_store: Dict[Tuple[str, str, Optional[int]], Any] = {}
         #: arrays allocated here: oid -> element list / element label.
         self.array_store: Dict[int, list] = {}
         self.array_meta: Dict[int, Label] = {}
@@ -117,21 +121,33 @@ class TrustedHost:
         self.frames: Dict[FrameID, Dict[str, Any]] = {}
         #: deferred data forwards: dst host -> {(fid, var): (value, label)}.
         self.pending: Dict[str, Dict[Tuple[int, str], Tuple[Any, Label, FrameID]]] = {}
-        #: entries this host serves, with precomputed invoker ACLs.
-        self.entries: Dict[str, Fragment] = {
-            f.entry: f for f in split.fragments_on(name)
-        }
-        self.entry_acl: Dict[str, frozenset] = {
-            entry: split.entry_invokers(entry) for entry in self.entries
-        }
+        if image is not None:
+            #: entries this host serves, with precomputed invoker ACLs
+            #: (shared, never mutated — every session reads one copy).
+            self.entries: Dict[str, Fragment] = image.entries
+            self.entry_acl: Dict[str, frozenset] = image.entry_acl
+            #: fields stored here: (cls, field, oid) -> value.
+            self.field_store: Dict[Tuple[str, str, Optional[int]], Any] = dict(
+                image.field_defaults
+            )
+        else:
+            self.entries = {f.entry: f for f in split.fragments_on(name)}
+            self.entry_acl = {
+                entry: split.entry_invokers(entry) for entry in self.entries
+            }
+            self.field_store = {}
+            self._init_fields()
         #: latest recovery announcement (epoch, seq) seen per peer —
         #: lets stale re-deliveries of genuine announcements be no-ops.
         self.peer_epochs: Dict[str, Tuple[int, int]] = {}
         #: fragments lowered to closures (shared across hosts via the
         #: split program); None when REPRO_COMPILE=0 selects the
         #: tree-walking interpreter.
-        self._compiled = compile_split(split) if compilation_enabled() else None
-        self._init_fields()
+        self._compiled = (
+            image.compiled
+            if image is not None
+            else (compile_split(split) if compilation_enabled() else None)
+        )
         self.checkpoint_interval = checkpoint_interval
         #: stable storage (WAL + sealed checkpoints).  Only materialized
         #: under fault injection, so fault-free runs stay bit-identical
@@ -147,6 +163,51 @@ class TrustedHost:
         for placement in self.split.fields_on(self.name):
             key = (placement.cls, placement.field, None)
             self.field_store[key] = placement.default_value()
+
+    def reset(
+        self,
+        opt_level: int = 1,
+        token_rng=None,
+        checkpoint_interval: int = 4,
+    ) -> None:
+        """Reset-in-place to a freshly constructed host.
+
+        Clears every piece of per-run mutable state — ICS slice, dedup
+        table, field/array stores, frames, deferred forwards, durable
+        store — while keeping the shared immutable artifacts (entries,
+        ACLs, compiled fragments, the host key).  The session pool calls
+        this instead of rebuilding the host, so recycling costs a few
+        dict clears rather than reconstruction.
+        """
+        self.opt_level = opt_level
+        self.factory.reset(rng=token_rng)
+        # crash_wipe may have replaced the stack object; clear whichever
+        # one is installed (handler registrations reference the host,
+        # not the stack, so identity does not matter).
+        self.stack._stack.clear()
+        self._seen_requests.clear()
+        image = self._image
+        if image is not None:
+            self.field_store = dict(image.field_defaults)
+        else:
+            self.field_store = {}
+            self._init_fields()
+        self.array_store.clear()
+        self.array_meta.clear()
+        self.frames.clear()
+        self.pending.clear()
+        self.peer_epochs.clear()
+        self.checkpoint_interval = checkpoint_interval
+        if self.durable is not None and self.network.faults is not None:
+            # Recycle the stable-storage object in place: clear the WAL
+            # and counters, then seal a fresh base checkpoint of the
+            # just-reset state.
+            self.durable.reset(interval=checkpoint_interval)
+            self.durable.take_checkpoint(self.snapshot_state())
+        else:
+            self.durable = None
+            if self.network.faults is not None:
+                self.ensure_durable()
 
     # ------------------------------------------------------------------
     # Frames
@@ -350,21 +411,39 @@ class TrustedHost:
         still applied — they passed their own checks); honest senders
         never mix the two."""
         accepted = True
+        src = message.src
+        remote = src != self.name
+        # With a shared image the per-variable integrity check is a
+        # precomputed set lookup: I_src ⊑ I(L_var) is static per split.
+        image = self._image
+        denied_pairs = (
+            image.forward_denied.get(src)
+            if image is not None and remote
+            else None
+        )
         for fid, var_values in message.payload["vars"].items():
             plan = self.split.methods[fid.method_key]
             for var, value in var_values.items():
-                label = plan.var_labels.get(var, Label.constant())
-                sender = self.split.config.host(message.src)
-                if message.src != self.name and not sender.integ.flows_to(
-                    label.integ, self.split.config.hierarchy
-                ):
-                    self.network.audit(
-                        self.name,
-                        f"forward of {var} denied from {message.src}: "
-                        f"I_{message.src} ⋢ I(L_var)",
-                    )
-                    accepted = False
-                    continue
+                if remote:
+                    if denied_pairs is not None:
+                        denied = (fid.method_key, var) in denied_pairs or (
+                            var not in plan.var_labels
+                            and src in image.constant_denied
+                        )
+                    else:
+                        label = plan.var_labels.get(var, Label.constant())
+                        sender = self.split.config.host(src)
+                        denied = not sender.integ.flows_to(
+                            label.integ, self.split.config.hierarchy
+                        )
+                    if denied:
+                        self.network.audit(
+                            self.name,
+                            f"forward of {var} denied from {src}: "
+                            f"I_{src} ⋢ I(L_var)",
+                        )
+                        accepted = False
+                        continue
                 self.set_var(fid, var, value)
         return True if accepted else _REJECTED
 

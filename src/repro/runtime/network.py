@@ -174,6 +174,41 @@ class SimNetwork:
         self.quarantine_enabled = False
         self.quarantined: set = set()
 
+    def reset(
+        self,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        """Reset-in-place to a freshly constructed network.
+
+        Host registrations (handlers, crash hooks) survive — they are
+        session wiring, not run state — while every piece of per-run
+        accounting is cleared: clock, counts, logs, channel sequence
+        numbers, idempotency-key counter, the control queue, fault
+        events, event listeners, and the quarantine set.  Also uninstalls
+        any instance-level ``_account`` override (the tracer patches one
+        in), so a previously traced session stops tracing when recycled.
+        """
+        self.clock = 0.0
+        self.check_time = 0.0
+        self.hash_time = 0.0
+        self.counts.clear()
+        self.eliminated_roundtrips = 0
+        self.message_log.clear()
+        self.audit_log.clear()
+        self.flow_log.clear()
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.fault_events.clear()
+        self.fault_counts.clear()
+        self._listeners.clear()
+        self._msg_ids = itertools.count(1)
+        self._seq.clear()
+        self._queue.clear()
+        self.quarantine_enabled = False
+        self.quarantined.clear()
+        self.__dict__.pop("_account", None)
+
     # -- host registration -----------------------------------------------------
 
     def register(

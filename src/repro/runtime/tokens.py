@@ -77,6 +77,16 @@ class TokenFactory:
         #: hashing-overhead accounting).
         self.hash_count = 0
 
+    def reset(self, rng=None) -> None:
+        """Back to a freshly constructed factory for session recycling.
+
+        The host's signing key stays (key material is a shared-image
+        artifact, derived once per registry); only the nonce source and
+        the hash counter are per-run state.
+        """
+        self._rng = rng
+        self.hash_count = 0
+
     def _nonce(self) -> bytes:
         if self._rng is not None:
             return self._rng.getrandbits(64).to_bytes(8, "big")

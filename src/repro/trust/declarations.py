@@ -43,6 +43,14 @@ class KeyRegistry:
 
     def __init__(self) -> None:
         self._keys: Dict[str, bytes] = {}
+        #: memoized keyed-HMAC base objects: deriving the inner/outer
+        #: pads from a key is the expensive part of HMAC-SHA256, and a
+        #: registry signs many short messages under few keys (tokens,
+        #: seals, recovery announcements).  ``sign`` copies the base and
+        #: feeds it the message, so per-key derivation happens once per
+        #: registry lifetime — which a shared RuntimeImage stretches
+        #: across every session run over the same split program.
+        self._bases: Dict[str, "hmac.HMAC"] = {}
 
     def register(self, name: str) -> None:
         if name not in self._keys:
@@ -54,7 +62,14 @@ class KeyRegistry:
         return self._keys[name]
 
     def sign(self, name: str, message: bytes) -> bytes:
-        return hmac.new(self.key_of(name), message, hashlib.sha256).digest()
+        base = self._bases.get(name)
+        if base is None:
+            base = self._bases[name] = hmac.new(
+                self.key_of(name), digestmod=hashlib.sha256
+            )
+        mac = base.copy()
+        mac.update(message)
+        return mac.digest()
 
     def verify(self, name: str, message: bytes, signature: bytes) -> bool:
         expected = self.sign(name, message)
