@@ -5,10 +5,15 @@ Usage (also via ``python -m repro``)::
     python -m repro check program.jif
     python -m repro split program.jif --hosts hosts.json [--graph]
     python -m repro run program.jif --hosts hosts.json [--opt-level N]
+                       [--storage sqlite [--storage-dir DIR]]
     python -m repro faultsweep [program.jif --hosts hosts.json]
                                [--schedules N] [--seed S]
                                [--crash-points [--crash-mode MODE]
                                 [--per-point K]]
+                               [--storage sqlite] [--storage-faults]
+    python -m repro rehydrate --smoke
+    python -m repro rehydrate program.jif --hosts hosts.json
+                              --storage-dir DIR
     python -m repro bench [--quick] [--jobs N] [--compare BASELINE]
                           [--throughput [--sessions N]]
     python -m repro table1
@@ -114,8 +119,33 @@ def cmd_run(args: argparse.Namespace) -> int:
     except (JifError, SplitError) as error:
         print(f"REJECTED: {error}", file=sys.stderr)
         return 1
-    executor = DistributedExecutor(result.split, opt_level=args.opt_level)
+    storage = None
+    if args.storage == "sqlite":
+        import tempfile
+
+        from .runtime.storage import SessionStorage
+
+        directory = args.storage_dir or tempfile.mkdtemp(
+            prefix="repro-storage-"
+        )
+        storage = SessionStorage(directory)
+        print(f"durable storage: sqlite at {directory}")
+    executor = DistributedExecutor(
+        result.split, opt_level=args.opt_level, storage=storage
+    )
     outcome = executor.run()
+    if storage is not None:
+        if storage.available:
+            from .runtime.storage import stats as storage_stats
+
+            counters = storage_stats()
+            print(f"durability: {counters['appends']} appends, "
+                  f"{counters['checkpoints']} checkpoints, "
+                  f"{counters['boundaries']} boundaries, "
+                  f"{counters['fsyncs']} fsyncs")
+        else:
+            print(f"durable tier DEGRADED: {storage.degraded_reason}")
+        storage.close()
     print(f"completed in {outcome.elapsed:.4f} simulated seconds")
     print(f"messages: {outcome.counts}")
     for (cls, field), placement in sorted(result.split.fields.items()):
@@ -132,9 +162,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_faultsweep(args: argparse.Namespace) -> int:
-    from .runtime.faultsweep import crash_point_sweep, split_for_sweep, sweep
+    import os
+
+    from .runtime.faultsweep import (
+        crash_point_sweep,
+        split_for_sweep,
+        storage_fault_sweep,
+        sweep,
+    )
     from .workloads import ot
 
+    if args.storage == "sqlite" and not args.storage_faults:
+        # Blanket mode: every session in the sweep runs over an
+        # auto-created SQLite tier, so protocol-level fault schedules
+        # exercise the durable write-through path too.
+        os.environ["REPRO_STORAGE"] = "sqlite"
     if args.program:
         if not args.hosts:
             print("faultsweep: --hosts is required with a program",
@@ -166,7 +208,17 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
         except (JifError, SplitError) as error:
             print(f"REJECTED: {error}", file=sys.stderr)
             return 1
-        if args.crash_points:
+        if args.storage_faults:
+            report = storage_fault_sweep(
+                split,
+                schedules=args.schedules,
+                base_seed=args.seed,
+                opt_level=args.opt_level,
+                name=name,
+            )
+            print(f"storage fault sweep over {name} "
+                  f"(base seed {args.seed}):")
+        elif args.crash_points:
             report = crash_point_sweep(
                 split,
                 opt_level=args.opt_level,
@@ -222,6 +274,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_rehydrate(args: argparse.Namespace) -> int:
+    """Rehydrate a dead process's session (or run the SIGKILL smoke)."""
+    if args.smoke:
+        from .runtime.storage.harness import kill_and_rehydrate
+        from .workloads import listcompare, medical, ot, tax, work
+
+        targets = [
+            ("ot", ot.source(rounds=2), ot.config()),
+            ("tax", tax.source(records=3), tax.config()),
+            ("work", work.source(rounds=2, inner=2), work.config()),
+            ("listcompare", listcompare.source(elements=3),
+             listcompare.config()),
+            ("medical", medical.source(patients=3), medical.config()),
+        ]
+        exit_code = 0
+        for name, source, config in targets:
+            split = split_source(source, config).split
+            for kill_after in (2, 6):
+                oracle, resumed, child = kill_and_rehydrate(
+                    split, kill_after_boundaries=kill_after
+                )
+                verdict = "ok" if oracle == resumed else "MISMATCH"
+                if oracle != resumed:
+                    exit_code = 1
+                print(f"  {name}: SIGKILL after boundary {kill_after} "
+                      f"(child exit {child}) -> rehydrated {verdict}")
+        print("kill-and-rehydrate smoke "
+              + ("passed" if exit_code == 0 else "FAILED"))
+        return exit_code
+    if not (args.program and args.hosts and args.storage_dir):
+        print("rehydrate: program, --hosts, and --storage-dir are "
+              "required (or use --smoke)", file=sys.stderr)
+        return 2
+    from .runtime.checkpoint import CheckpointTamperError
+    from .runtime.storage import StorageUnavailableError, rehydrate_session
+
+    source = open(args.program).read()
+    config = load_trust_configuration(args.hosts)
+    try:
+        result = split_source(source, config)
+    except (JifError, SplitError) as error:
+        print(f"REJECTED: {error}", file=sys.stderr)
+        return 1
+    try:
+        session = rehydrate_session(result.split, args.storage_dir)
+    except CheckpointTamperError as error:
+        print(f"FAIL CLOSED: {error}", file=sys.stderr)
+        return 1
+    except StorageUnavailableError as error:
+        print(f"STORAGE UNAVAILABLE: {error}", file=sys.stderr)
+        return 1
+    outcome = session.run()
+    print(f"rehydrated and completed in {outcome.elapsed:.4f} "
+          f"simulated seconds")
+    for (cls, field), placement in sorted(result.split.fields.items()):
+        try:
+            value = outcome.field_value(cls, field)
+        except KeyError:
+            continue
+        print(f"  {cls}.{field} = {value}")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .reporting.table1 import render
 
@@ -261,6 +376,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("program")
     run.add_argument("--hosts", required=True)
     run.add_argument("--opt-level", type=int, default=1, choices=(0, 1, 2))
+    run.add_argument(
+        "--storage", choices=("memory", "sqlite"), default="memory",
+        help="durable storage backend: 'sqlite' persists every "
+             "checkpoint/WAL boundary to a write-ahead-logged database "
+             "a rehydrated process can resume from",
+    )
+    run.add_argument(
+        "--storage-dir",
+        help="directory for --storage sqlite (default: a fresh tempdir)",
+    )
     run.set_defaults(func=cmd_run)
 
     faultsweep = sub.add_parser(
@@ -297,6 +422,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (schedules and crash "
              "points are independent; results are identical to --jobs 1)",
     )
+    faultsweep.add_argument(
+        "--storage", choices=("memory", "sqlite"), default="memory",
+        help="with 'sqlite', run every schedule over an auto-created "
+             "durable tier so protocol faults also exercise the "
+             "write-through persistence path",
+    )
+    faultsweep.add_argument(
+        "--storage-faults", action="store_true",
+        help="sweep seeded *storage* fault schedules instead (injected "
+             "busy/locked errors, disk-full, post-run tampering); "
+             "verifies graceful degradation and fail-closed rehydration",
+    )
     faultsweep.set_defaults(func=cmd_faultsweep)
 
     bench = sub.add_parser(
@@ -331,6 +468,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(wall-clock lever only; baselines are "
                             "recorded with --jobs 1)")
     bench.set_defaults(func=cmd_bench)
+
+    rehydrate = sub.add_parser(
+        "rehydrate",
+        help="resume a SIGKILLed run from its sqlite storage directory, "
+             "or (--smoke) fork+SIGKILL workers over the Table 1 "
+             "workloads and verify rehydrated results are bit-identical",
+    )
+    rehydrate.add_argument("program", nargs="?", default=None)
+    rehydrate.add_argument("--hosts", help="hosts JSON file")
+    rehydrate.add_argument("--storage-dir",
+                           help="storage directory of the dead process")
+    rehydrate.add_argument(
+        "--smoke", action="store_true",
+        help="kill-and-rehydrate harness over all Table 1 workloads",
+    )
+    rehydrate.set_defaults(func=cmd_rehydrate)
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.set_defaults(func=cmd_table1)

@@ -27,6 +27,13 @@ from .network import (
     SimNetwork,
 )
 from .singlehost import SingleHostInterpreter, run_single_host
+from .storage import (
+    SessionStorage,
+    StorageError,
+    StorageUnavailableError,
+    TransientStorageError,
+    rehydrate_session,
+)
 from .tokens import Token, TokenFactory, forged_token
 from .values import FrameID, ObjectRef, ReturnInfo
 
@@ -62,6 +69,11 @@ __all__ = [
     "SimNetwork",
     "SingleHostInterpreter",
     "run_single_host",
+    "SessionStorage",
+    "StorageError",
+    "StorageUnavailableError",
+    "TransientStorageError",
+    "rehydrate_session",
     "Token",
     "TokenFactory",
     "forged_token",

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from .storage import codec as _codec
+from .storage.base import STATS as _STATS
 from .tokens import Token
 from .values import REJECTED, FrameID
 
@@ -159,11 +161,19 @@ class DurableStore:
     makes rollback detectable.
     """
 
-    def __init__(self, host: str, factory, interval: int = 4) -> None:
+    def __init__(
+        self, host: str, factory, interval: int = 4, backend=None
+    ) -> None:
         if interval < 1:
             raise ValueError("checkpoint interval must be >= 1")
         self.host = host
         self._factory = factory
+        #: optional persistent tier (a
+        #: :class:`~repro.runtime.storage.base.StorageBackend`).  The
+        #: in-memory structures above stay authoritative — the backend
+        #: receives sealed *copies* so a fresh process can rehydrate.
+        #: ``None`` (the default) persists nothing and costs nothing.
+        self.backend = backend
         #: processed-message count between checkpoints.
         self.interval = interval
         self.checkpoint: Optional[Checkpoint] = None
@@ -185,6 +195,8 @@ class DurableStore:
     def log(self, *entry: Any) -> None:
         """Append one mutation record to the write-ahead log."""
         self.wal.append(entry)
+        if self.backend is not None:
+            self._persist_wal(len(self.wal) - 1, entry)
 
     def take_checkpoint(self, state: Dict[str, Any]) -> Checkpoint:
         """Seal ``state`` as the new checkpoint and compact the WAL."""
@@ -198,7 +210,46 @@ class DurableStore:
         self.wal = []
         self.processed = 0
         self.checkpoints_taken += 1
+        if self.backend is not None:
+            self._persist_checkpoint(checkpoint)
         return checkpoint
+
+    # -- persistent tier (write-through copies) ----------------------------
+
+    def _persist_wal(self, index: int, entry: Tuple) -> None:
+        """Write one sealed WAL record through to the backend.
+
+        The row seal binds (epoch, index, record) under the host key, so
+        a storage attacker can neither forge, reorder, nor splice
+        records across epochs."""
+        blob = _codec.dumps(entry)
+        seal = self._factory.seal(
+            "wal-record", b"%d|%d|" % (self.high_water, index) + blob.encode()
+        )
+        _STATS.appends += 1
+        self.backend.append_wal(self.high_water, index, blob, seal)
+
+    def _persist_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Write the sealed checkpoint snapshot through to the backend
+        (which compacts the persisted WAL rows it supersedes)."""
+        blob = _codec.dumps(checkpoint.state)
+        seal = self._factory.seal(
+            "checkpoint-blob", b"%d|" % checkpoint.epoch + blob.encode()
+        )
+        _STATS.checkpoints += 1
+        self.backend.save_checkpoint(checkpoint.epoch, blob, seal)
+
+    def republish(self) -> None:
+        """Re-write the current checkpoint and WAL through a newly
+        attached backend, so a store that lived memory-only until now
+        becomes rehydratable from this point on."""
+        if self.backend is None:
+            return
+        self.backend.reset_run()
+        if self.checkpoint is not None:
+            self._persist_checkpoint(self.checkpoint)
+        for index, entry in enumerate(self.wal):
+            self._persist_wal(index, entry)
 
     def reset(self, interval: Optional[int] = None) -> None:
         """Clear the store in place for session recycling.
@@ -220,6 +271,8 @@ class DurableStore:
         self.recoveries = 0
         self.processed = 0
         self.checkpoints_taken = 0
+        if self.backend is not None:
+            self.backend.reset_run()
 
     # -- recovery path -----------------------------------------------------
 

@@ -52,6 +52,7 @@ class DistributedExecutor(Session):
         token_rng=None,
         quarantine: bool = False,
         checkpoint_interval: int = 4,
+        storage=None,
     ) -> None:
         super().__init__(
             RuntimeImage.for_split(split, registry),
@@ -61,6 +62,7 @@ class DistributedExecutor(Session):
             token_rng=token_rng,
             quarantine=quarantine,
             checkpoint_interval=checkpoint_interval,
+            storage=storage,
         )
 
     def host(self, name: str) -> TrustedHost:
@@ -74,6 +76,7 @@ def run_split_program(
     faults: Optional[FaultInjector] = None,
     token_rng=None,
     quarantine: bool = False,
+    storage=None,
 ) -> ExecutionResult:
     """Convenience wrapper: execute a split program and return the result.
 
@@ -96,5 +99,5 @@ def run_split_program(
     """
     return DistributedExecutor(
         split, cost_model=cost_model, opt_level=opt_level, faults=faults,
-        token_rng=token_rng, quarantine=quarantine,
+        token_rng=token_rng, quarantine=quarantine, storage=storage,
     ).run()

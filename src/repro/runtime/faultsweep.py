@@ -474,3 +474,205 @@ def crash_point_sweep(
         if failure is not None:
             report.failures.append(tag + failure)
     return report
+
+
+# ----------------------------------------------------------------------
+# Storage fault sweep: the durable tier under injected storage failures
+# ----------------------------------------------------------------------
+
+
+class StorageScheduleOutcome:
+    """One storage fault schedule's result."""
+
+    __slots__ = ("seed", "status", "detail", "degraded", "tampered")
+
+    def __init__(
+        self, seed: int, status: str, detail: str = "",
+        degraded: bool = False, tampered: str = "",
+    ) -> None:
+        self.seed = seed
+        #: "ok" | "failure"
+        self.status = status
+        self.detail = detail
+        #: whether the live run lost its durable tier mid-flight.
+        self.degraded = degraded
+        #: the post-mortem tamper kind applied ("" = none).
+        self.tampered = tampered
+
+    def __repr__(self) -> str:
+        return f"StorageScheduleOutcome(seed={self.seed}, {self.status})"
+
+
+class StorageSweepReport:
+    """Aggregate of a storage fault sweep."""
+
+    def __init__(self) -> None:
+        self.schedules: List[StorageScheduleOutcome] = []
+        self.failures: List[str] = []
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for s in self.schedules if s.status == "ok")
+
+    @property
+    def degradations(self) -> int:
+        return sum(1 for s in self.schedules if s.degraded)
+
+    def summary(self) -> str:
+        tampers = sum(1 for s in self.schedules if s.tampered)
+        lines = [
+            f"{len(self.schedules)} storage schedules: {self.completed} ok "
+            f"({self.degradations} degraded gracefully, {tampers} tamper "
+            f"checks failed closed), {len(self.failures)} FAILED"
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL {failure}")
+        return "\n".join(lines)
+
+
+def storage_fault_sweep(
+    split: SplitProgram,
+    schedules: int = 25,
+    base_seed: int = 0,
+    opt_level: int = 1,
+    name: str = "",
+) -> StorageSweepReport:
+    """Run seeded storage-fault schedules against the SQLite tier.
+
+    Each schedule runs the workload on a SQLite-backed session with a
+    seeded :class:`~repro.runtime.storage.faultsim.StorageFaultInjector`
+    (locked/busy databases exercising the bounded retry path, disk-full
+    exercising graceful degradation).  The live run must always complete
+    with the fault-free field values — the in-memory state is
+    authoritative, so a dying disk may cost durability, never
+    correctness — and a degradation must leave a recorded ``degraded``
+    trace event.  When the tier survives, the schedule then attacks the
+    directory post-mortem with a seeded tamper kind and requires
+    rehydration to fail closed (or, untampered, to reproduce the
+    oracle's observables bit-identically).
+    """
+    import shutil
+    import tempfile
+
+    from ..trust import KeyRegistry
+    from .checkpoint import CheckpointTamperError
+    from .session import RuntimeImage, Session
+    from .storage import (
+        SessionStorage,
+        StorageUnavailableError,
+        rehydrate_session,
+    )
+    from .storage.faultsim import (
+        TAMPER_KINDS,
+        StorageFaultInjector,
+        StorageFaultPolicy,
+    )
+
+    tag = f"{name} " if name else ""
+    report = StorageSweepReport()
+    image = RuntimeImage(split, KeyRegistry())
+    oracle = Session(image)
+    oracle.run()
+    oracle_fields = {
+        key: oracle.result().field_value(*key) for key in split.fields
+    }
+    oracle_observables = oracle.observables()
+    for index in range(schedules):
+        seed = base_seed + index
+        rng = random.Random(seed ^ 0x570AA6E)
+        policy = StorageFaultPolicy(
+            busy_prob=rng.uniform(0.0, 0.3),
+            diskfull_after=(
+                rng.randrange(5, 80) if rng.random() < 0.4 else None
+            ),
+        )
+        directory = tempfile.mkdtemp(prefix="repro-storage-sweep-")
+        problems: List[str] = []
+        degraded = False
+        tampered = ""
+        try:
+            storage = SessionStorage(directory)
+            injector = StorageFaultInjector(policy, seed=seed)
+            injector.install(storage)
+            session = Session(image, opt_level=opt_level, storage=storage)
+            try:
+                outcome = session.run()
+            except Exception as error:  # noqa: BLE001 — any escape is a bug
+                problems.append(f"live run raised {error!r}")
+                outcome = None
+            if outcome is not None:
+                for key, expected in oracle_fields.items():
+                    got = outcome.field_value(*key)
+                    if got != expected:
+                        problems.append(
+                            f"field {key[0]}.{key[1]} = {got!r}, "
+                            f"expected {expected!r}"
+                        )
+                degraded = not storage.available
+                events = [
+                    e for e in session.network.fault_events
+                    if e[0] == "degraded"
+                ]
+                if degraded and not events:
+                    problems.append(
+                        "storage degraded without a recorded event"
+                    )
+                if events and not degraded:
+                    problems.append(
+                        "degraded event recorded but tier still attached"
+                    )
+            if outcome is not None and not degraded:
+                # Post-mortem: tamper half the surviving directories.
+                storage.fault_hook = None
+                storage.close()
+                if rng.random() < 0.5:
+                    tampered = TAMPER_KINDS[rng.randrange(len(TAMPER_KINDS))]
+                    try:
+                        from .storage.faultsim import tamper
+
+                        tamper(directory, tampered)
+                    except RuntimeError:
+                        # No rows of the targeted kind (e.g. an empty
+                        # WAL right after a checkpoint): tamper the
+                        # checkpoint instead, which always exists.
+                        tampered = "corrupt-page"
+                        from .storage.faultsim import tamper
+
+                        tamper(directory, tampered)
+                try:
+                    resumed = rehydrate_session(split, directory)
+                    if tampered:
+                        problems.append(
+                            f"tamper {tampered} was not detected"
+                        )
+                    else:
+                        resumed.run()
+                        if resumed.observables() != oracle_observables:
+                            problems.append(
+                                "rehydrated observables diverge from "
+                                "the oracle"
+                            )
+                except (CheckpointTamperError, StorageUnavailableError):
+                    if not tampered:
+                        problems.append(
+                            "untampered directory failed rehydration"
+                        )
+                except Exception as error:  # noqa: BLE001
+                    problems.append(
+                        f"rehydration raised unexpected {error!r}"
+                    )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        if problems:
+            detail = "; ".join(problems)
+            report.schedules.append(
+                StorageScheduleOutcome(
+                    seed, "failure", detail, degraded, tampered
+                )
+            )
+            report.failures.append(f"{tag}seed={seed}: {detail}")
+        else:
+            report.schedules.append(
+                StorageScheduleOutcome(seed, "ok", "", degraded, tampered)
+            )
+    return report

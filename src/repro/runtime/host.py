@@ -198,10 +198,14 @@ class TrustedHost:
         self.pending.clear()
         self.peer_epochs.clear()
         self.checkpoint_interval = checkpoint_interval
-        if self.durable is not None and self.network.faults is not None:
-            # Recycle the stable-storage object in place: clear the WAL
-            # and counters, then seal a fresh base checkpoint of the
-            # just-reset state.
+        keep_durable = self.durable is not None and (
+            self.network.faults is not None
+            or self.durable.backend is not None
+        )
+        if keep_durable:
+            # Recycle the stable-storage object in place (persistent
+            # rows included): clear the WAL and counters, then seal a
+            # fresh base checkpoint of the just-reset state.
             self.durable.reset(interval=checkpoint_interval)
             self.durable.take_checkpoint(self.snapshot_state())
         else:
@@ -628,11 +632,37 @@ class TrustedHost:
         """Seal the current state as a new checkpoint (compacts the WAL)."""
         store = self.ensure_durable()
         checkpoint = store.take_checkpoint(self.snapshot_state())
-        self.network._emit(
-            "checkpoint", None, self.name,
-            f"epoch {checkpoint.epoch} sealed, WAL compacted",
-        )
+        # Checkpoint trace events belong to the fault-injection trace;
+        # a persistent backend alone checkpoints silently so that
+        # storage-backed fault-free runs keep an empty event log.
+        if self.network.faults is not None:
+            self.network._emit(
+                "checkpoint", None, self.name,
+                f"epoch {checkpoint.epoch} sealed, WAL compacted",
+            )
         return checkpoint
+
+    def attach_storage(self, storage) -> None:
+        """Wire this host's durable store to ``storage``'s persistent
+        tier (a :class:`~repro.runtime.storage.sqlite_backend.
+        SessionStorage`), materializing the store if needed and
+        publishing the current checkpoint + WAL through the backend."""
+        backend = storage.backend_for(self.name)
+        if self.durable is None:
+            self.durable = DurableStore(
+                self.name, self.factory, interval=self.checkpoint_interval,
+                backend=backend,
+            )
+            self.durable.take_checkpoint(self.snapshot_state())
+        else:
+            self.durable.backend = backend
+            self.durable.republish()
+
+    def detach_storage(self) -> None:
+        """Drop the persistent tier (degradation or explicit detach);
+        the in-memory store keeps running fail-closed."""
+        if self.durable is not None:
+            self.durable.backend = None
 
     def _maybe_checkpoint(self) -> None:
         store = self.durable

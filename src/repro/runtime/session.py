@@ -53,9 +53,18 @@ from .compiler import CompiledProgram, compilation_enabled, compile_split
 from .faults import FaultInjector
 from .host import ExecutionState, HaltSignal, TrustedHost
 from .network import CostModel, SimNetwork
+from .storage import default_storage
 from .values import FrameID
 
 _MAX_STEPS = 2_000_000
+
+#: ``Session(storage=NO_STORAGE)``: explicitly no durable tier, even
+#: when ``REPRO_STORAGE=sqlite`` would auto-create one (the rehydration
+#: path uses this — it installs persisted state itself).
+NO_STORAGE = object()
+
+#: ``Session.reset(storage=_KEEP)``: recycle the attached storage.
+_KEEP = object()
 
 #: Default for ExecutionResult accessors: raise on a missing name.
 _RAISE = object()
@@ -298,6 +307,7 @@ class Session:
         token_rng=None,
         quarantine: bool = False,
         checkpoint_interval: int = 4,
+        storage=None,
     ) -> None:
         self.image = image
         self.split = image.split
@@ -307,6 +317,15 @@ class Session:
         #: raises SecurityAbort and blacklists the offender instead of
         #: being silently ignored.
         self.network.quarantine_enabled = quarantine
+        #: the optional durable tier (a :class:`~repro.runtime.storage.
+        #: sqlite_backend.SessionStorage`); ``None`` consults the
+        #: ``REPRO_STORAGE`` environment default.
+        if storage is None:
+            storage = default_storage()
+        elif storage is NO_STORAGE:
+            storage = None
+        self.storage = storage
+        self._token_rng = token_rng
         self.hosts: Dict[str, TrustedHost] = {}
         for descriptor in self.split.config.hosts:
             self.hosts[descriptor.name] = TrustedHost(
@@ -323,6 +342,34 @@ class Session:
         self._started = False
         self._halted = False
         self._steps = 0
+        if self.storage is not None:
+            self._attach_storage()
+
+    def _attach_storage(self) -> None:
+        """Wire every host's durable store to the session's persistent
+        tier and publish boundary 1 (base checkpoints + empty journal)."""
+        storage = self.storage
+        storage.on_degrade = self._note_degraded
+        if not storage.available:
+            self._note_degraded(
+                storage.degraded_reason or "storage unavailable"
+            )
+            return
+        for name in self.hosts:
+            storage.record_key(name, self.registry.key_of(f"host:{name}"))
+        storage.record_digest(self.split.digest)
+        storage.begin()
+        for host in self.hosts.values():
+            host.attach_storage(storage)
+        storage.save_boundary(self)
+
+    def _note_degraded(self, reason: str) -> None:
+        """The durable tier failed: detach it and keep running
+        fail-closed on the authoritative in-memory state.  Recorded in
+        the trace so a deployment can see it lost durability."""
+        self.network._emit("degraded", None, None, reason)
+        for host in self.hosts.values():
+            host.detach_storage()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -334,6 +381,7 @@ class Session:
         token_rng=None,
         quarantine: bool = False,
         checkpoint_interval: int = 4,
+        storage=_KEEP,
     ) -> "Session":
         """Reset-in-place back to a fresh session over the same image.
 
@@ -342,12 +390,35 @@ class Session:
         stores, trace listeners — without reconstructing any object, so
         a pooled run's steady-state cost is the run itself.  Parameters
         mirror ``__init__`` and default to a fault-free session.
+
+        ``storage`` defaults to recycling the attached durable tier in
+        place (its persisted rows are wound back to a fresh lifetime);
+        pass ``None``/``NO_STORAGE`` to detach it, or a new
+        ``SessionStorage`` to swap tiers.
         """
+        if storage is _KEEP:
+            storage = self.storage
+        elif storage is NO_STORAGE:
+            storage = None
+        if storage is not self.storage:
+            # Swapping tiers: sever the old one before anything writes.
+            if self.storage is not None:
+                self.storage.close()
+            for host in self.hosts.values():
+                host.detach_storage()
+        self.storage = storage
+        self._token_rng = token_rng
+        usable = storage is not None and storage.available
+        if usable:
+            storage.begin()
+            storage.reset_for_recycle()
         self.network.reset(faults=faults)
         if cost_model is not None:
             self.network.cost = cost_model
         self.network.quarantine_enabled = quarantine
         for host in self.hosts.values():
+            # Hosts whose durable store still points at `storage`
+            # recycle their persisted rows in place here.
             host.reset(
                 opt_level=opt_level,
                 token_rng=token_rng,
@@ -357,6 +428,25 @@ class Session:
         self._started = False
         self._halted = False
         self._steps = 0
+        if storage is None:
+            for host in self.hosts.values():
+                host.detach_storage()
+            return self
+        storage.on_degrade = self._note_degraded
+        if usable and storage.available:
+            for name in self.hosts:
+                storage.record_key(
+                    name, self.registry.key_of(f"host:{name}")
+                )
+            storage.record_digest(self.split.digest)
+            for host in self.hosts.values():
+                if host.durable is None or host.durable.backend is None:
+                    host.attach_storage(storage)
+            storage.save_boundary(self)
+        elif not storage.available:
+            self._note_degraded(
+                storage.degraded_reason or "storage unavailable"
+            )
         return self
 
     @property
@@ -371,6 +461,9 @@ class Session:
         split = self.split
         assert split.main_entry is not None
         assert self.image.main_method_key is not None
+        storage = self.storage
+        if storage is not None and storage.available:
+            storage.begin()
         main_host = self.hosts[split.main_host]
         self._main_frame = FrameID(self.image.main_method_key)
         # The root capability t0: consuming it halts the program.
@@ -382,6 +475,8 @@ class Session:
             main_host.run_chain(state)
         except HaltSignal:
             self._halted = True
+        if storage is not None and storage.available:
+            storage.save_boundary(self)
         return self._halted
 
     def step(self) -> bool:
@@ -389,6 +484,9 @@ class Session:
         program has halted."""
         if self._halted:
             return True
+        storage = self.storage
+        if storage is not None and storage.available:
+            storage.begin()
         message = self.network.pop_control()
         if message is None:
             raise RuntimeError(
@@ -403,6 +501,8 @@ class Session:
         self._steps += 1
         if self._steps > _MAX_STEPS:
             raise RuntimeError("execution exceeded the step budget")
+        if storage is not None and storage.available:
+            storage.save_boundary(self)
         return self._halted
 
     def run(self) -> ExecutionResult:
@@ -411,6 +511,12 @@ class Session:
             self.start()
         while not self._halted:
             self.step()
+        storage = self.storage
+        if storage is not None and storage.auto:
+            # Environment-created tiers are per-run scratch space; a
+            # completed run has nothing left to rehydrate.
+            storage.discard()
+            self.storage = None
         return self.result()
 
     def result(self) -> ExecutionResult:

@@ -1,0 +1,161 @@
+"""Storage-level fault injection.
+
+Two attack surfaces, matching how real storage fails:
+
+* **Live faults** — a seeded :class:`StorageFaultInjector` installs
+  itself as a :class:`SessionStorage` ``fault_hook`` and makes backend
+  operations fail *while the session runs*: locked/busy database
+  (transient, exercises the bounded retry path) and disk-full
+  (hard, exercises graceful degradation).  The session must still
+  complete with correct observables — memory is authoritative.
+* **Post-mortem tampering** — :func:`tamper` mutates a dead session's
+  storage directory the way torn writes, corrupted pages, partial
+  fsyncs, and rollbacks manifest on disk.  Rehydration must then fail
+  closed (:class:`CheckpointTamperError`) or report the tier unusable
+  (:class:`StorageUnavailableError`) — never resurrect forged state.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import sqlite3
+from typing import Optional
+
+from .base import TransientStorageError
+
+
+class StorageFaultPolicy:
+    """Probabilities and triggers for live storage faults."""
+
+    def __init__(
+        self,
+        busy_prob: float = 0.0,
+        diskfull_after: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= busy_prob <= 1.0:
+            raise ValueError("busy_prob must be within [0, 1]")
+        if diskfull_after is not None and diskfull_after < 0:
+            raise ValueError("diskfull_after must be non-negative")
+        #: chance each backend op first raises a locked-database error.
+        self.busy_prob = busy_prob
+        #: hard ENOSPC on the Nth write op (None = never).
+        self.diskfull_after = diskfull_after
+
+
+class StorageFaultInjector:
+    """Seeded live-fault hook for a :class:`SessionStorage`.
+
+    Busy faults fire at most once per operation — the immediate retry
+    then succeeds, which is exactly the transient contract; unbounded
+    repeats would just test the degradation path twice.
+    """
+
+    _WRITE_OPS = (
+        "append_wal",
+        "save_checkpoint",
+        "boundary",
+        "sidecar",
+        "begin",
+    )
+
+    def __init__(self, policy: StorageFaultPolicy, seed: int = 0) -> None:
+        self.policy = policy
+        self.rng = random.Random(seed)
+        self.busy_faults = 0
+        self.diskfull_faults = 0
+        self._writes = 0
+        self._busy_pending = False
+
+    def install(self, storage) -> None:
+        storage.fault_hook = self
+
+    def __call__(self, op: str) -> None:
+        if op in self._WRITE_OPS:
+            self._writes += 1
+            after = self.policy.diskfull_after
+            if after is not None and self._writes > after:
+                self.diskfull_faults += 1
+                raise OSError(errno.ENOSPC, "no space left on device")
+        if self._busy_pending:
+            # This is the retry of the op we just failed: let it pass.
+            self._busy_pending = False
+            return
+        if self.policy.busy_prob and self.rng.random() < self.policy.busy_prob:
+            self.busy_faults = self.busy_faults + 1
+            self._busy_pending = True
+            raise TransientStorageError("database is locked (injected)")
+
+
+# ---------------------------------------------------------------------------
+# Post-mortem tampering
+# ---------------------------------------------------------------------------
+
+TAMPER_KINDS = (
+    "torn-write",
+    "corrupt-page",
+    "rollback",
+    "partial-fsync",
+    "drop-sidecar",
+)
+
+
+def tamper(directory: str, kind: str) -> None:
+    """Mutate a dead session's storage directory in place.
+
+    * ``torn-write`` — truncate the tail off the last WAL record's blob
+      (a write that died partway through a row).
+    * ``corrupt-page`` — flip one byte inside a persisted checkpoint
+      blob (a bad sector under a valid-looking file).
+    * ``rollback`` — rewind the journal row to an earlier boundary
+      while leaving the sealed sidecar counter alone (the classic
+      replay-old-state attack the monotonic counter exists to catch).
+    * ``partial-fsync`` — delete the journal row entirely: the commit
+      that claimed durability never reached the platter.
+    * ``drop-sidecar`` — remove ``sealed.json``; the trusted tier is
+      gone, so rehydration must report storage unavailable.
+    """
+    db_path = os.path.join(directory, "session.db")
+    if kind == "drop-sidecar":
+        os.unlink(os.path.join(directory, "sealed.json"))
+        return
+    conn = sqlite3.connect(db_path, isolation_level=None)
+    try:
+        if kind == "torn-write":
+            row = conn.execute(
+                "SELECT host, idx, blob FROM wal "
+                "ORDER BY host, idx DESC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                raise RuntimeError("no WAL rows to tear")
+            host, idx, blob = row
+            conn.execute(
+                "UPDATE wal SET blob = ? WHERE host = ? AND idx = ?",
+                (blob[: max(1, len(blob) // 2)], host, idx),
+            )
+        elif kind == "corrupt-page":
+            row = conn.execute(
+                "SELECT host, blob FROM checkpoints ORDER BY host LIMIT 1"
+            ).fetchone()
+            if row is None:
+                raise RuntimeError("no checkpoint rows to corrupt")
+            host, blob = row
+            middle = len(blob) // 2
+            flipped = (
+                blob[:middle]
+                + chr((ord(blob[middle]) + 1) % 128)
+                + blob[middle + 1 :]
+            )
+            conn.execute(
+                "UPDATE checkpoints SET blob = ? WHERE host = ?",
+                (flipped, host),
+            )
+        elif kind == "rollback":
+            conn.execute("UPDATE journal SET boundary = boundary - 2")
+        elif kind == "partial-fsync":
+            conn.execute("DELETE FROM journal")
+        else:
+            raise ValueError(f"unknown tamper kind {kind!r}")
+    finally:
+        conn.close()

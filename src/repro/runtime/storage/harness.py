@@ -1,0 +1,155 @@
+"""Kill-and-rehydrate harness: real process death, not simulated.
+
+The crash sweeps of PR3 prove the *protocol* recovers from volatile
+crashes, but the crashing host never actually leaves the process — its
+Python heap survives.  This harness closes that gap:
+
+1. run the workload to completion in-process (the **fault-free
+   oracle**) and fingerprint it — observables, every field value, the
+   audit log, the label-flow log;
+2. ``os.fork()`` a worker that runs the same workload against a
+   SQLite-backed :class:`SessionStorage` and SIGKILLs *itself* at a
+   chosen trigger (after N committed boundaries, or mid-transaction
+   after N WAL appends) — no cleanup handlers run, the heap is gone;
+3. in the parent, :func:`~.sqlite_backend.rehydrate_session` from the
+   dead worker's directory, run the resumed session to completion, and
+   compare its fingerprint against the oracle.
+
+Bit-identical fingerprints are the whole claim of the durable tier:
+process death at any boundary loses no observable behavior.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+from typing import Any, Dict, Optional, Tuple
+
+from .sqlite_backend import SessionStorage, rehydrate_session
+
+#: worker exit codes (anything else means the child died unexpectedly).
+WORKER_COMPLETED = 7
+WORKER_FAILED = 13
+
+
+def fingerprint(session) -> Dict[str, Any]:
+    """Everything observable about a finished run, hashable-stable."""
+    outcome = session.result()
+    fields = {}
+    for key in sorted(session.split.fields):
+        fields[key] = outcome.field_value(key[0], key[1], default=None)
+    return {
+        "observables": session.observables(),
+        "fields": fields,
+        "audits": list(outcome.network.audit_log),
+        "flows": [tuple(flow) for flow in outcome.network.flow_log],
+    }
+
+
+def run_oracle(split, cost_model=None, opt_level: int = 1) -> Dict[str, Any]:
+    """The fault-free, storage-free reference run."""
+    from ...trust import KeyRegistry
+    from ..session import RuntimeImage, Session
+
+    image = RuntimeImage(split, KeyRegistry())
+    session = Session(image, cost_model=cost_model, opt_level=opt_level)
+    session.run()
+    return fingerprint(session)
+
+
+def _run_worker(
+    split,
+    directory: str,
+    kill_after_boundaries: Optional[int],
+    kill_after_appends: Optional[int],
+    cost_model,
+    opt_level: int,
+) -> None:
+    """Forked-child body: run until the trigger, then SIGKILL ourselves.
+
+    Exits via ``os._exit`` on every path — a forked child must never
+    unwind into the parent's interpreter machinery (atexit handlers,
+    pytest internals)."""
+    try:
+        from ...trust import KeyRegistry
+        from ..session import RuntimeImage, Session
+
+        storage = SessionStorage(directory)
+
+        def die(*_ignored) -> None:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        if kill_after_boundaries is not None:
+            fired = [0]
+
+            def on_boundary(boundary: int) -> None:
+                fired[0] += 1
+                if fired[0] >= kill_after_boundaries:
+                    die()
+
+            storage.boundary_hook = on_boundary
+        if kill_after_appends is not None:
+            appended = [0]
+
+            def on_append(host: str, epoch: int, index: int) -> None:
+                appended[0] += 1
+                if appended[0] >= kill_after_appends:
+                    die()
+
+            storage.wal_hook = on_append
+        image = RuntimeImage(split, KeyRegistry())
+        session = Session(
+            image, cost_model=cost_model, opt_level=opt_level,
+            storage=storage,
+        )
+        session.run()
+    except BaseException:
+        os._exit(WORKER_FAILED)
+    # Trigger never fired: the workload finished before the kill point.
+    os._exit(WORKER_COMPLETED)
+
+
+def kill_and_rehydrate(
+    split,
+    kill_after_boundaries: Optional[int] = None,
+    kill_after_appends: Optional[int] = None,
+    cost_model=None,
+    opt_level: int = 1,
+    directory: Optional[str] = None,
+) -> Tuple[Dict[str, Any], Dict[str, Any], int]:
+    """SIGKILL a forked worker mid-run, rehydrate, finish, compare.
+
+    Returns ``(oracle_fingerprint, rehydrated_fingerprint, child_exit)``
+    where ``child_exit`` is the negative signal number (``-SIGKILL``)
+    when the kill landed, or a :data:`WORKER_COMPLETED` status when the
+    workload outran the trigger (the caller decides whether that is
+    acceptable for its kill point).
+    """
+    if kill_after_boundaries is None and kill_after_appends is None:
+        raise ValueError("pick a kill trigger")
+    oracle = run_oracle(split, cost_model=cost_model, opt_level=opt_level)
+    own_dir = directory is None
+    if own_dir:
+        directory = tempfile.mkdtemp(prefix="repro-kill-")
+    try:
+        pid = os.fork()
+        if pid == 0:
+            _run_worker(
+                split, directory, kill_after_boundaries,
+                kill_after_appends, cost_model, opt_level,
+            )
+            os._exit(WORKER_FAILED)  # unreachable
+        _, status = os.waitpid(pid, 0)
+        if os.WIFSIGNALED(status):
+            child_exit = -os.WTERMSIG(status)
+        else:
+            child_exit = os.WEXITSTATUS(status)
+        session = rehydrate_session(split, directory)
+        session.run()
+        return oracle, fingerprint(session), child_exit
+    finally:
+        if own_dir:
+            import shutil
+
+            shutil.rmtree(directory, ignore_errors=True)

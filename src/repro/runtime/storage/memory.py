@@ -1,0 +1,46 @@
+"""The in-memory reference backend.
+
+Implements the :class:`~repro.runtime.storage.base.StorageBackend`
+contract against plain dictionaries.  It persists nothing across
+process death — it exists as the executable specification of the
+interface (the backend-contract tests run against it and SQLite
+identically) and as the substrate the storage fault injector wraps
+when a test wants backend failures without touching a real database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .base import StorageBackend
+
+
+class MemoryBackend(StorageBackend):
+    """Reference backend: rows live in process memory."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._checkpoint: Optional[Tuple[int, str, bytes]] = None
+        self._wal: Dict[int, Tuple[int, str, bytes]] = {}
+
+    def append_wal(
+        self, epoch: int, index: int, blob: str, seal: bytes
+    ) -> None:
+        self._wal[index] = (epoch, blob, seal)
+
+    def save_checkpoint(self, epoch: int, blob: str, seal: bytes) -> None:
+        self._checkpoint = (epoch, blob, seal)
+        self._wal.clear()
+
+    def reset_run(self) -> None:
+        self._checkpoint = None
+        self._wal.clear()
+
+    def load_checkpoint(self) -> Optional[Tuple[int, str, bytes]]:
+        return self._checkpoint
+
+    def load_wal(self) -> List[Tuple[int, int, str, bytes]]:
+        return [
+            (index, epoch, blob, seal)
+            for index, (epoch, blob, seal) in sorted(self._wal.items())
+        ]

@@ -156,8 +156,42 @@ def _artifact_bytes(key: SplitKey, encoded: Dict) -> bytes:
     return _MAGIC + b"\n" + digest + b"\n" + body
 
 
+#: stale temp files younger than this are left alone when sweeping —
+#: they may belong to a writer that is mid-publish right now.
+_STALE_TMP_SECONDS = 60.0
+
+_SWEPT_DIRS = set()
+
+
+def _sweep_stale_tmp(directory: str) -> None:
+    """Remove ``*.tmp-*`` litter left by writers that died between
+    ``open`` and ``os.replace``.  Runs once per directory per process,
+    the first time the disk tier is opened; an age guard keeps it from
+    racing a live writer's unpublished temp file."""
+    if directory in _SWEPT_DIRS:
+        return
+    _SWEPT_DIRS.add(directory)
+    try:
+        import time
+
+        now = time.time()
+        for name in os.listdir(directory):
+            if ".tmp-" not in name:
+                continue
+            path = os.path.join(directory, name)
+            try:
+                if now - os.stat(path).st_mtime > _STALE_TMP_SECONDS:
+                    os.unlink(path)
+            except OSError:
+                continue
+    except OSError:
+        pass
+
+
 def _write_artifact(key: SplitKey, encoded: Dict, directory: str) -> None:
-    """Atomic publish: write a private temp file, then ``os.replace``.
+    """Atomic durable publish: write a private temp file, fsync it,
+    ``os.replace`` it into place, then fsync the directory so the
+    rename itself survives power loss.
 
     Concurrent writers of the same key race benignly — each rename
     installs a complete, digest-consistent artifact, and the last one
@@ -170,7 +204,14 @@ def _write_artifact(key: SplitKey, encoded: Dict, directory: str) -> None:
         tmp = f"{path}.tmp-{os.getpid()}-{next(_TMP_SERIAL)}"
         with open(tmp, "wb") as handle:
             handle.write(_artifact_bytes(key, encoded))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except OSError:
         pass
 
@@ -245,6 +286,7 @@ def lookup(key: SplitKey, config):
     directory = artifact_dir()
     if directory is None:
         return None
+    _sweep_stale_tmp(directory)
     encoded = _read_artifact(key, directory)
     if encoded is not None:
         try:
@@ -264,6 +306,7 @@ def store(key: SplitKey, encoded: Dict) -> None:
     _MEMORY[key] = encoded
     directory = artifact_dir()
     if directory is not None:
+        _sweep_stale_tmp(directory)
         _write_artifact(key, encoded, directory)
 
 

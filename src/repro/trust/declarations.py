@@ -56,6 +56,13 @@ class KeyRegistry:
         if name not in self._keys:
             self._keys[name] = os.urandom(32)
 
+    def install(self, name: str, key: bytes) -> None:
+        """Install a specific key (cross-process key restore: a
+        rehydrating runtime re-creates the registry from the sealed
+        sidecar rather than drawing fresh randomness)."""
+        self._keys[name] = bytes(key)
+        self._bases.pop(name, None)
+
     def key_of(self, name: str) -> bytes:
         if name not in self._keys:
             raise TrustError(f"no key registered for {name!r}")

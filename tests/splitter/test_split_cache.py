@@ -390,3 +390,50 @@ def test_unknown_source_digest_stands_aside():
     result = split_program(checked, config)
     assert not result.cached
     assert cache.stats()["split.memory"]["misses"] == 0
+
+
+def test_stale_tmp_litter_is_swept_once_per_process(tmp_path, monkeypatch):
+    """Temp files abandoned by a writer that died between open and
+    os.replace are reclaimed when the disk tier opens; a fresh temp
+    file (a live writer mid-publish) is left alone."""
+    import os
+    import time
+
+    directory = tmp_path / "artifacts"
+    directory.mkdir()
+    stale = directory / "deadbeef.rsplit.tmp-12345-0"
+    stale.write_bytes(b"half-written artifact")
+    old = time.time() - 2 * cache._STALE_TMP_SECONDS
+    os.utime(stale, (old, old))
+    live = directory / "cafef00d.rsplit.tmp-12345-1"
+    live.write_bytes(b"publish in progress")
+
+    monkeypatch.setenv(cache.ENV_DIR, str(directory))
+    cache._SWEPT_DIRS.discard(str(directory))
+    config = config_abt()
+    cache.clear()
+    result = split_source(OT_SOURCE, config)  # opens the disk tier
+    assert not result.cached
+    assert not stale.exists(), "stale temp litter survived the sweep"
+    assert live.exists(), "sweep raced a live writer's temp file"
+    # One sweep per directory per process: recreating the litter and
+    # hitting the tier again must not re-scan.
+    stale.write_bytes(b"again")
+    os.utime(stale, (old, old))
+    assert split_source(OT_SOURCE, config).cached
+    assert stale.exists()
+
+
+def test_artifact_publish_is_atomic_and_durable(tmp_path, monkeypatch):
+    """The publish path leaves no temp file behind and the installed
+    artifact round-trips — the fsync-then-rename discipline's
+    observable half."""
+    monkeypatch.setenv(cache.ENV_DIR, str(tmp_path))
+    config = config_abt()
+    cache.clear()
+    split_source(OT_SOURCE, config)
+    names = [p.name for p in tmp_path.iterdir()]
+    assert any(name.endswith(".rsplit") for name in names)
+    assert not any(".tmp-" in name for name in names)
+    cache.clear()
+    assert split_source(OT_SOURCE, config).cached
