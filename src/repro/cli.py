@@ -271,6 +271,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         jobs=args.jobs,
         throughput_sessions=throughput_sessions,
+        profile=args.profile,
     )
 
 
@@ -467,6 +468,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the progen sweep "
                             "(wall-clock lever only; baselines are "
                             "recorded with --jobs 1)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run a separate profiled pass attributing "
+                            "per-message time to dispatch / token / "
+                            "label / trace / store (embedded under "
+                            "'profile' in the JSON report)")
     bench.set_defaults(func=cmd_bench)
 
     rehydrate = sub.add_parser(

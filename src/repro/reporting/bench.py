@@ -246,6 +246,35 @@ def _stage_totals(data: Dict, sweep_scale: float) -> Dict[str, float]:
     return totals
 
 
+def _reference_run(baseline: Dict, baseline_path: str) -> Dict:
+    """Pick the reference run out of a loaded baseline file.
+
+    Schema detection is structural, not key-presence: an *envelope*
+    file carries a ``current`` mapping that itself holds the run
+    sections (``workloads`` et al.), while a *legacy flat* file has the
+    run sections at the top level.  Detection must not key on optional
+    sections — an envelope whose run skipped ``durability`` or
+    ``throughput`` (or recorded ``baseline: null``) is still an
+    envelope, and must not trip the legacy warning.
+    """
+    current = baseline.get("current")
+    if isinstance(current, dict) and "workloads" in current:
+        return current
+    if "workloads" in baseline:
+        print(
+            f"bench: warning — {baseline_path} uses the legacy flat "
+            "schema (no baseline/current/jobs envelope); reading its "
+            "top level as the reference run",
+            file=sys.stderr,
+        )
+        return baseline
+    raise ValueError(
+        f"{baseline_path}: not a bench report — neither an envelope "
+        "with a 'current' run nor a legacy flat report (no 'workloads' "
+        "section found)"
+    )
+
+
 def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
     """Regression gate: fail when the fresh run is slower than the
     checked-in numbers by more than ``tolerance`` (a fraction).
@@ -273,14 +302,7 @@ def compare(report: Dict, baseline_path: str, tolerance: float) -> int:
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    if "current" not in baseline:
-        print(
-            f"bench: warning — {baseline_path} uses the legacy flat "
-            "schema (no baseline/current/jobs envelope); reading its "
-            "top level as the reference run",
-            file=sys.stderr,
-        )
-    reference = baseline.get("current", baseline)
+    reference = _reference_run(baseline, baseline_path)
     ref_seeds = reference.get("progen_seeds", DEFAULT_SEEDS)
     sweep_scale = report["progen_seeds"] / ref_seeds
     failed = 0
@@ -407,6 +429,7 @@ def main(
     tolerance: float = 0.25,
     jobs: int = 1,
     throughput_sessions: Optional[int] = None,
+    profile: bool = False,
 ) -> int:
     report = run_bench(seeds=seeds, jobs=jobs)
     if throughput_sessions is not None:
@@ -415,6 +438,15 @@ def main(
         report["throughput"] = run_throughput(
             sessions=throughput_sessions, jobs=jobs
         )
+    if profile:
+        # Separate pass: the wrappers cost per-call overhead, so they
+        # are never armed while the timing numbers above are recorded.
+        from .profile import format_breakdown, profile_execution
+
+        report["profile"] = profile_execution(
+            seeds=min(seeds, QUICK_SEEDS // 2)
+        )
+        print(format_breakdown(report["profile"]))
     # Normalized bench JSON schema: every written report carries the
     # same top-level envelope — ``baseline`` (what this run was gated
     # against, or null), ``current`` (this run), ``jobs``.  compare()

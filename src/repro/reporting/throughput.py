@@ -23,12 +23,15 @@ seconds) plus a seeded progen mix it measures:
 Every pooled session's observables — message counts, simulated time,
 per-host ICS depths — are asserted **bit-identical** to a solo
 single-run oracle, so the speedup can never come from behavioural
-drift.  Two scaling sweeps (host count with inert extra hosts,
-principal count with a generated aggregation program) and a
-``--jobs`` fan-out point (workers inherit the warm images pre-fork via
-:func:`repro.parallel.fork_map`) complete the picture.  Results land in
-the bench JSON schema so ``bench --compare`` gates throughput
-regressions like any other stage.
+drift.  A mixed-image phase interleaves all five request workloads in
+one driver (a multi-program gateway), two scaling sweeps (host count
+with inert extra hosts, principal count with a generated aggregation
+program) attach numbers to the many-users axis, and a ``--jobs``
+fan-out runs session shards over a persistent
+:class:`repro.parallel.WorkerPool` (workers fork once, inheriting the
+warm images, and serve every scaling point).  Results land in the
+bench JSON schema so ``bench --compare`` gates throughput regressions
+like any other stage.
 """
 
 from __future__ import annotations
@@ -262,8 +265,14 @@ def _scaling_point(
     oracles: Dict[str, Dict[str, Any]],
     sessions: int,
     jobs: int,
+    pool: Optional[parallel.WorkerPool] = None,
 ) -> Dict[str, Any]:
-    """Sessions/sec over all request workloads at one ``--jobs`` value."""
+    """Sessions/sec over all request workloads at one ``--jobs`` value.
+
+    ``pool`` is the persistent worker pool shared by every scaling
+    point (the workers and their inherited warm images outlive a single
+    point); with ``jobs <= 1`` or no pool the shards run serially.
+    """
     items: List[Tuple[str, int]] = []
     for name in splits:
         shard, remainder = divmod(sessions, max(1, jobs))
@@ -272,13 +281,10 @@ def _scaling_point(
             if size:
                 items.append((name, size))
     start = time.perf_counter()
-    counts = parallel.fork_map(
-        _shard_task, items, jobs,
-        shared={"splits": splits, "oracles": oracles},
-        chunksize=1,
-    )
-    if counts is None:
-        # Serial fallback: same per-shard work, without the fork state.
+    if jobs > 1 and pool is not None:
+        counts = pool.map(_shard_task, items, chunksize=1)
+    else:
+        # Serial path: same per-shard work, without the fork state.
         counts = [
             len(
                 _drive_pooled(
@@ -293,6 +299,45 @@ def _scaling_point(
         "jobs": jobs,
         "sessions": total,
         "sessions_per_sec": _rate(total, wall),
+        "wall_seconds": round(wall, 6),
+    }
+
+
+# -- mixed image set ---------------------------------------------------------
+
+
+def _drive_mixed(
+    splits: Dict[str, Any],
+    oracles: Dict[str, Dict[str, Any]],
+    sessions: int,
+) -> Dict[str, Any]:
+    """All request workloads interleaved in ONE driver — a gateway
+    serving a heterogeneous program mix.  Launches rotate across the
+    images; every completed session is still checked bit-identical
+    against *its own* program's solo oracle."""
+    images = {name: RuntimeImage.for_split(split) for name, split in splits.items()}
+    oracle_by_image = {id(image): (name, oracles[name]) for name, image in images.items()}
+
+    def observer(session) -> None:
+        name, oracle = oracle_by_image[id(session.image)]
+        got = session.observables()
+        if got != oracle:
+            raise InvariantViolation(
+                f"mixed[{name}]: pooled session diverged from the "
+                f"single-run oracle:\n  expected {oracle}\n  got      {got}"
+            )
+
+    driver = MultiSessionDriver(
+        list(images.values()), concurrency=min(CONCURRENCY, sessions)
+    )
+    start = time.perf_counter()
+    records = driver.run_many(sessions, observer=observer)
+    wall = time.perf_counter() - start
+    return {
+        "programs": len(images),
+        "sessions": len(records),
+        "sessions_per_sec": _rate(len(records), wall),
+        "latency": _latency_summary([r["latency"] for r in records]),
         "wall_seconds": round(wall, 6),
     }
 
@@ -386,6 +431,12 @@ def run_throughput(
         ),
     }
 
+    # Mixed image set: the five request workloads interleaved in one
+    # driver (a multi-program gateway), each session still pinned to
+    # its own program's solo oracle.
+    note("mixed image set ...")
+    report["mixed"] = _drive_mixed(splits, oracles, sessions)
+
     # Host-count sweep: OT plus inert extra hosts.  Placement must not
     # move (the extras are ineligible for everything), so each point is
     # pinned to the 3-host oracle's message counts.
@@ -446,10 +497,23 @@ def run_throughput(
     scaling_sessions = sessions
     points = sorted({1, jobs})
     note(f"jobs scaling {points} ...")
-    report["jobs_scaling"] = [
-        _scaling_point(splits, oracles, scaling_sessions, point)
-        for point in points
-    ]
+    # One persistent worker pool serves every parallel scaling point:
+    # the workers fork once — inheriting the warm splits, images, and
+    # oracles — and stay up across points instead of re-forking per
+    # phase.
+    pool: Optional[parallel.WorkerPool] = None
+    if jobs > 1 and parallel.fork_available():
+        pool = parallel.WorkerPool(
+            jobs, shared={"splits": splits, "oracles": oracles}
+        )
+    try:
+        report["jobs_scaling"] = [
+            _scaling_point(splits, oracles, scaling_sessions, point, pool=pool)
+            for point in points
+        ]
+    finally:
+        if pool is not None:
+            pool.close()
 
     # The invariant surface --compare pins bit-identical: the per-
     # workload single-run oracles (message counts, simulated time, ICS

@@ -107,8 +107,7 @@ def copy_state(state: Dict[str, Any]) -> Dict[str, Any]:
         "arrays": {oid: list(vals) for oid, vals in state["arrays"].items()},
         "array_meta": dict(state["array_meta"]),
         "frames": {
-            fid: {"vars": dict(frame["vars"]), "ret": frame["ret"]}
-            for fid, frame in state["frames"].items()
+            fid: dict(frame) for fid, frame in state["frames"].items()
         },
         "stack": list(state["stack"]),
         "seen": dict(state["seen"]),

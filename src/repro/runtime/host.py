@@ -117,7 +117,10 @@ class TrustedHost:
         #: arrays allocated here: oid -> element list / element label.
         self.array_store: Dict[int, list] = {}
         self.array_meta: Dict[int, Label] = {}
-        #: frame copies: FrameID -> {"vars": {...}, "ret": ReturnInfo}.
+        #: frame copies: FrameID -> variable slots ({name: value}).  The
+        #: mapping is flat on purpose — one dict per frame, no wrapper —
+        #: because the per-message hot path (forwarded variables, frame
+        #: reads in fragment bodies) lives and dies on these lookups.
         self.frames: Dict[FrameID, Dict[str, Any]] = {}
         #: deferred data forwards: dst host -> {(fid, var): (value, label)}.
         self.pending: Dict[str, Dict[Tuple[int, str], Tuple[Any, Label, FrameID]]] = {}
@@ -126,6 +129,11 @@ class TrustedHost:
             #: (shared, never mutated — every session reads one copy).
             self.entries: Dict[str, Fragment] = image.entries
             self.entry_acl: Dict[str, frozenset] = image.entry_acl
+            #: per-entry dispatch table: entry -> (fragment, invoker ACL)
+            #: so sync/rgoto validation is one dict probe instead of two.
+            self._entry_table: Dict[str, Tuple[Fragment, frozenset]] = (
+                image.entry_table
+            )
             #: fields stored here: (cls, field, oid) -> value.
             self.field_store: Dict[Tuple[str, str, Optional[int]], Any] = dict(
                 image.field_defaults
@@ -135,8 +143,24 @@ class TrustedHost:
             self.entry_acl = {
                 entry: split.entry_invokers(entry) for entry in self.entries
             }
+            self._entry_table = {
+                entry: (fragment, self.entry_acl[entry])
+                for entry, fragment in self.entries.items()
+            }
             self.field_store = {}
             self._init_fields()
+        #: cached program digest (checked on every remote request).
+        self._digest = split.digest
+        #: kind -> bound handler, replacing the if-chain in _dispatch.
+        self._dispatch_table: Dict[str, Any] = {
+            "getField": self._handle_get_field,
+            "setField": self._handle_set_field,
+            "forward": self._handle_forward,
+            "sync": self._handle_sync,
+            "rgoto": self._handle_rgoto,
+            "lgoto": self._handle_lgoto,
+            "recover": self._handle_recover,
+        }
         #: latest recovery announcement (epoch, seq) seen per peer —
         #: lets stale re-deliveries of genuine announcements be no-ops.
         self.peer_epochs: Dict[str, Tuple[int, int]] = {}
@@ -218,23 +242,27 @@ class TrustedHost:
     # ------------------------------------------------------------------
 
     def frame(self, fid: FrameID) -> Dict[str, Any]:
+        """The variable slots of frame ``fid`` (created on first touch)."""
         frame = self.frames.get(fid)
         if frame is None:
-            frame = self.frames[fid] = {"vars": {}, "ret": None}
+            frame = self.frames[fid] = {}
         return frame
 
     def var(self, fid: FrameID, name: str) -> Any:
         frame = self.frames.get(fid)
         if frame is None:
-            frame = self.frames[fid] = {"vars": {}, "ret": None}
-        value = frame["vars"].get(name, _UNSEEN)
+            frame = self.frames[fid] = {}
+        value = frame.get(name, _UNSEEN)
         if value is not _UNSEEN:
             return value
         plan = self.split.methods[fid.method_key]
         return plan.default_value(name)
 
     def set_var(self, fid: FrameID, name: str, value: Any) -> None:
-        self.frame(fid)["vars"][name] = value
+        frame = self.frames.get(fid)
+        if frame is None:
+            frame = self.frames[fid] = {}
+        frame[name] = value
         if self.durable is not None:
             self.durable.log("var", fid, name, value)
 
@@ -246,7 +274,7 @@ class TrustedHost:
         remote = message.src != self.name
         if remote:
             self.network.charge_check()
-            if message.payload.get("digest") != self.split.digest:
+            if message.payload.get("digest") != self._digest:
                 self.network.audit(
                     self.name, f"{message.kind} with mismatched program hash"
                 )
@@ -258,7 +286,11 @@ class TrustedHost:
                 cached = self._seen_requests.get(message.msg_id, _UNSEEN)
                 if cached is not _UNSEEN:
                     return cached
-        result = self._dispatch(message)
+        handler = self._dispatch_table.get(message.kind)
+        if handler is None:
+            result = self._dispatch(message)  # audits the unknown kind
+        else:
+            result = handler(message)
         if remote:
             if message.msg_id is not None:
                 # Write-ahead: the dedup entry must be durable before
@@ -287,23 +319,13 @@ class TrustedHost:
         return _REJECTED
 
     def _dispatch(self, message: Message) -> Any:
-        kind = message.kind
-        if kind == "getField":
-            return self._handle_get_field(message)
-        if kind == "setField":
-            return self._handle_set_field(message)
-        if kind == "forward":
-            return self._handle_forward(message)
-        if kind == "sync":
-            return self._handle_sync(message)
-        if kind == "rgoto":
-            return self._handle_rgoto(message)
-        if kind == "lgoto":
-            return self._handle_lgoto(message)
-        if kind == "recover":
-            return self._handle_recover(message)
-        self.network.audit(self.name, f"unknown request kind {kind!r}")
-        return _REJECTED
+        handler = self._dispatch_table.get(message.kind)
+        if handler is None:
+            self.network.audit(
+                self.name, f"unknown request kind {message.kind!r}"
+            )
+            return _REJECTED
+        return handler(message)
 
     def _handle_get_field(self, message: Message) -> Any:
         payload = message.payload
@@ -425,6 +447,27 @@ class TrustedHost:
             if image is not None and remote
             else None
         )
+        if not remote or (
+            denied_pairs is not None
+            and not denied_pairs
+            and src not in image.constant_denied
+        ):
+            # Fast path: nothing this sender forwards can be denied
+            # (locally, or statically per the precomputed sets), so the
+            # per-variable checks reduce to straight slot stores.
+            frames = self.frames
+            durable = self.durable
+            for fid, var_values in message.payload["vars"].items():
+                frame = frames.get(fid)
+                if frame is None:
+                    frame = frames[fid] = {}
+                if durable is None:
+                    frame.update(var_values)
+                else:
+                    for var, value in var_values.items():
+                        frame[var] = value
+                        durable.log("var", fid, var, value)
+            return True
         for fid, var_values in message.payload["vars"].items():
             plan = self.split.methods[fid.method_key]
             for var, value in var_values.items():
@@ -454,11 +497,11 @@ class TrustedHost:
     def _handle_sync(self, message: Message) -> Any:
         payload = message.payload
         entry = payload["entry"]
-        fragment = self.entries.get(entry)
-        if fragment is None:
+        info = self._entry_table.get(entry)
+        if info is None:
             self.network.audit(self.name, f"sync for unknown entry {entry}")
             return _REJECTED
-        if message.src != self.name and message.src not in self.entry_acl[entry]:
+        if message.src != self.name and message.src not in info[1]:
             self.network.audit(
                 self.name,
                 f"sync {entry} denied to {message.src}: I_i ⋢ I_e",
@@ -475,15 +518,15 @@ class TrustedHost:
     def _handle_rgoto(self, message: Message) -> Any:
         payload = message.payload
         entry = payload["entry"]
-        fragment = self.entries.get(entry)
-        if fragment is None:
+        info = self._entry_table.get(entry)
+        if info is None:
             self.network.audit(self.name, f"rgoto to unknown entry {entry}")
             return _REJECTED
-        if message.src != self.name and message.src not in self.entry_acl[entry]:
+        if message.src != self.name and message.src not in info[1]:
             self.network.audit(
                 self.name,
                 f"rgoto {entry} denied to {message.src}: I_i ⋢ I_e "
-                f"(I_e = {{{fragment.integ}}})",
+                f"(I_e = {{{info[0].integ}}})",
             )
             return _REJECTED
         self._apply_payload_data(message)
@@ -746,7 +789,7 @@ class TrustedHost:
         op = entry[0]
         if op == "var":
             _, fid, name, value = entry
-            self.frame(fid)["vars"][name] = value
+            self.frame(fid)[name] = value
         elif op == "field":
             self.field_store[entry[1]] = entry[2]
         elif op == "array_new":
@@ -928,6 +971,11 @@ class TrustedHost:
         """Send all deferred forwards; values destined to
         ``piggyback_for`` are returned for inclusion in the transfer
         message instead of being sent separately."""
+        # Fast exit for the common chain with nothing deferred: the
+        # per-target slot dicts stay allocated after a flush (replay
+        # bookkeeping keys on them), so test emptiness, not key count.
+        if not any(self.pending.values()):
+            return None
         piggyback: Optional[Dict[FrameID, Dict[str, Any]]] = None
         for target in sorted(self.pending):
             slots = self.pending[target]
@@ -1016,6 +1064,17 @@ class TrustedHost:
         self, entry: str, frame: FrameID, token: Optional[Token]
     ) -> Optional[Token]:
         target_host = self.split.entry_host(entry)
+        if target_host == self.name and entry in self._entry_table:
+            # Local sync fast path: a request to ourselves never touches
+            # the network (no counts, no charges — the general path's
+            # src == dst case), the entry is ours, and the ACL cannot
+            # deny the host itself, so this is exactly _handle_sync
+            # minus the Message round trip.
+            minted = self.factory.mint(frame, entry)
+            self.stack.push(minted, token)
+            if self.durable is not None:
+                self.durable.log("push", minted, token)
+            return minted
         message = Message(
             "sync",
             self.name,

@@ -151,6 +151,14 @@ class SimNetwork:
         self.audit_log: List[str] = []
         #: (label, host) pairs: data with this label became visible to host.
         self.flow_log: List = []
+        #: whether to retain per-message/per-flow event objects.  The
+        #: logs exist for collectors — the security-assurance checks and
+        #: the tracer — not for the run's observables (counts, clock, ICS
+        #: depths), so a throughput driver with no collector attached
+        #: turns this off and skips building the trace events entirely.
+        #: Attaching a :class:`~repro.runtime.trace.Tracer` switches it
+        #: back on.
+        self.record_logs = True
         #: fault injector; None restores the reliable Section 3.1 channels.
         self.faults = faults
         self.retry = retry or RetryPolicy()
@@ -233,7 +241,8 @@ class SimNetwork:
         self.counts["messages"] += messages
         if message.src != message.dst:
             self.clock += messages * self.cost.one_way_latency
-        self.message_log.append(message)
+        if self.record_logs:
+            self.message_log.append(message)
 
     def charge_check(self) -> None:
         self.clock += self.cost.check_cost
@@ -254,7 +263,8 @@ class SimNetwork:
 
     def flow(self, label, host: str) -> None:
         """Record that data labeled ``label`` became visible to ``host``."""
-        self.flow_log.append((label, host))
+        if self.record_logs:
+            self.flow_log.append((label, host))
 
     # -- quarantine --------------------------------------------------------------
 

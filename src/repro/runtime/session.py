@@ -43,6 +43,8 @@ its split, so every existing call site gets artifact sharing for free.
 
 from __future__ import annotations
 
+import gc
+import os
 import time
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
@@ -125,8 +127,8 @@ class ExecutionResult:
         """
         for host in self.hosts.values():
             frame_copy = host.frames.get(frame)
-            if frame_copy is not None and var in frame_copy["vars"]:
-                return frame_copy["vars"][var]
+            if frame_copy is not None and var in frame_copy:
+                return frame_copy[var]
         if default is not _RAISE:
             return default
         raise KeyError(f"variable {var!r} not bound in any copy of {frame!r}")
@@ -143,6 +145,7 @@ class HostImage:
         "name",
         "entries",
         "entry_acl",
+        "entry_table",
         "field_defaults",
         "forward_denied",
         "constant_denied",
@@ -168,6 +171,12 @@ class HostImage:
         #: per-entry invoker ACLs (Figure 6's ``I_i ⊑ I_e``).
         self.entry_acl: Dict[str, FrozenSet[str]] = {
             entry: split.entry_invokers(entry) for entry in self.entries
+        }
+        #: per-entry dispatch table: entry -> (fragment, invoker ACL),
+        #: so the sync/rgoto hot path validates with one dict probe.
+        self.entry_table: Dict[str, Tuple[Fragment, FrozenSet[str]]] = {
+            entry: (fragment, self.entry_acl[entry])
+            for entry, fragment in self.entries.items()
         }
         #: initial values of statically placed fields; sessions start
         #: from a plain copy of this dict.
@@ -308,6 +317,7 @@ class Session:
         quarantine: bool = False,
         checkpoint_interval: int = 4,
         storage=None,
+        record_logs: bool = True,
     ) -> None:
         self.image = image
         self.split = image.split
@@ -317,6 +327,12 @@ class Session:
         #: raises SecurityAbort and blacklists the offender instead of
         #: being silently ignored.
         self.network.quarantine_enabled = quarantine
+        #: ``record_logs=False`` runs the lean hot path: per-message and
+        #: per-flow trace events are never constructed (the observables
+        #: — counts, clock, ICS depths — don't depend on them).  The
+        #: throughput driver's sessions run lean; attaching a Tracer
+        #: switches recording back on.
+        self.network.record_logs = record_logs
         #: the optional durable tier (a :class:`~repro.runtime.storage.
         #: sqlite_backend.SessionStorage`); ``None`` consults the
         #: ``REPRO_STORAGE`` environment default.
@@ -382,6 +398,7 @@ class Session:
         quarantine: bool = False,
         checkpoint_interval: int = 4,
         storage=_KEEP,
+        record_logs: bool = True,
     ) -> "Session":
         """Reset-in-place back to a fresh session over the same image.
 
@@ -416,6 +433,7 @@ class Session:
         if cost_model is not None:
             self.network.cost = cost_model
         self.network.quarantine_enabled = quarantine
+        self.network.record_logs = record_logs
         for host in self.hosts.values():
             # Hosts whose durable store still points at `storage`
             # recycle their persisted rows in place here.
@@ -576,7 +594,7 @@ class SessionPool:
 
 
 class MultiSessionDriver:
-    """Interleaves many concurrent sessions over one shared image.
+    """Interleaves many concurrent sessions over shared images.
 
     Keeps up to ``concurrency`` sessions in flight, delivering one
     control message to each in round-robin order — the single-threaded
@@ -585,19 +603,43 @@ class MultiSessionDriver:
     session's simulated clock, trace, and state are isolated in its own
     :class:`Session`, so interleaving is observably identical to
     running the sessions back to back.
+
+    ``image`` may be a single :class:`RuntimeImage` or a list of them:
+    with several images the driver serves a *mixed* program set — a
+    multi-program gateway — launching sessions round-robin across the
+    images.  Each image gets its own :class:`SessionPool`, so recycled
+    state (frames, dedup tables, quarantine sets) can never migrate
+    between programs: a session is only ever reset back into the pool
+    of the image that built it.
+
+    Driver sessions default to ``record_logs=False`` (the lean hot
+    path): the driver measures observables — counts, simulated clock,
+    ICS depths — which never depend on the per-message event logs, and
+    no collector is attached.  Pass ``record_logs=True`` to keep full
+    logs, or attach a Tracer to an individual session.
     """
 
     def __init__(
         self,
-        image: RuntimeImage,
+        image,
         concurrency: int = 32,
         pool: Optional[SessionPool] = None,
         **session_opts,
     ) -> None:
         self.concurrency = max(1, concurrency)
-        self.pool = pool or SessionPool(
-            image, size=min(self.concurrency, 8), **session_opts
-        )
+        session_opts.setdefault("record_logs", False)
+        images = list(image) if isinstance(image, (list, tuple)) else [image]
+        if pool is not None:
+            self.pools = [pool]
+            self.images = [pool.image]
+        else:
+            size = max(1, min(self.concurrency, 8) // len(images))
+            self.pools = [
+                SessionPool(img, size=size, **session_opts) for img in images
+            ]
+            self.images = images
+        #: back-compat alias: the first (often only) pool.
+        self.pool = self.pools[0]
 
     def run_many(
         self,
@@ -606,38 +648,61 @@ class MultiSessionDriver:
     ) -> List[Dict[str, Any]]:
         """Drive ``count`` sessions to completion; returns one record
         per session (in completion order): its wall-clock ``latency``
-        plus :meth:`Session.observables`.  ``observer`` (if given) runs
-        on each completed session *before* it is recycled — the hook the
-        harness uses to check invariants against the solo oracle.
+        plus :meth:`Session.observables`.  With a mixed image set the
+        launches rotate across the images (session ``i`` comes from
+        image ``i % len(images)``).  ``observer`` (if given) runs on
+        each completed session *before* it is recycled — the hook the
+        harness uses to check invariants against the solo oracle; use
+        ``session.image`` to tell the programs apart.
+
+        The cyclic garbage collector is paused for the duration of the
+        drive (a standard serving-loop optimization: session recycling
+        churns almost exclusively acyclic, refcounted objects, and a
+        mid-drive gen-2 sweep is a latency spike for whichever session
+        it lands on).  Cycles created during a drive are bounded by the
+        drive and collected at the next normal threshold after GC is
+        re-enabled.  ``REPRO_GC_PAUSE=0`` keeps the collector running.
         """
         perf = time.perf_counter
-        active: List[Tuple[Session, float]] = []
+        pools = self.pools
+        pause_gc = (
+            gc.isenabled()
+            and os.environ.get("REPRO_GC_PAUSE", "1") != "0"
+        )
+        active: List[Tuple[Session, float, SessionPool]] = []
         records: List[Dict[str, Any]] = []
         launched = 0
 
-        def finish(session: Session, started_at: float) -> None:
+        def finish(session: Session, started_at: float, pool: SessionPool) -> None:
             record = session.observables()
             record["latency"] = perf() - started_at
             if observer is not None:
                 observer(session)
             records.append(record)
-            self.pool.release(session)
+            pool.release(session)
 
-        while launched < count or active:
-            while launched < count and len(active) < self.concurrency:
-                session = self.pool.acquire()
-                started_at = perf()
-                launched += 1
-                if session.start():
-                    finish(session, started_at)
-                else:
-                    active.append((session, started_at))
-            # One delivery per in-flight session, oldest first.
-            still_running: List[Tuple[Session, float]] = []
-            for session, started_at in active:
-                if session.step():
-                    finish(session, started_at)
-                else:
-                    still_running.append((session, started_at))
-            active = still_running
+        if pause_gc:
+            gc.disable()
+        try:
+            while launched < count or active:
+                while launched < count and len(active) < self.concurrency:
+                    pool = pools[launched % len(pools)]
+                    session = pool.acquire()
+                    started_at = perf()
+                    launched += 1
+                    if session.start():
+                        finish(session, started_at, pool)
+                    else:
+                        active.append((session, started_at, pool))
+                # One delivery per in-flight session, oldest first.
+                still_running: List[Tuple[Session, float, SessionPool]] = []
+                for session, started_at, pool in active:
+                    if session.step():
+                        finish(session, started_at, pool)
+                    else:
+                        still_running.append((session, started_at, pool))
+                active = still_running
+        finally:
+            if pause_gc:
+                gc.enable()
         return records

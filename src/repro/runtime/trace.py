@@ -57,6 +57,9 @@ class Tracer:
         self._install(executor.network)
 
     def _install(self, network: SimNetwork) -> None:
+        # A collector is now attached: switch full event recording back
+        # on in case this network was running the lean (no-log) path.
+        network.record_logs = True
         original_account = network._account
 
         def traced_account(message, messages):

@@ -52,7 +52,7 @@ def observables(outcome):
         name: [
             (
                 fid.method_key,
-                {var: norm(value) for var, value in frame["vars"].items()},
+                {var: norm(value) for var, value in frame.items()},
             )
             for fid, frame in sorted(
                 host.frames.items(), key=lambda kv: kv[0].fid

@@ -104,6 +104,99 @@ def test_driver_interleaving_matches_solo_oracle():
     assert driver.pool.created <= 16
 
 
+def test_mixed_image_driver_matches_each_solo_oracle():
+    """One driver serving heterogeneous programs: every pooled session
+    must be bit-identical to the solo oracle of *its own* program."""
+    splits = {
+        "tax": split_source(tax.source(records=3), tax.config()).split,
+        "work": split_source(work.source(rounds=2, inner=2),
+                             work.config()).split,
+        "ot": split_source(ot.source(rounds=1), ot.config()).split,
+    }
+    images = {name: RuntimeImage.for_split(s) for name, s in splits.items()}
+    oracles = {}
+    for name, image in images.items():
+        solo = Session(image)
+        solo.run()
+        oracles[id(image)] = (name, solo.observables())
+
+    seen = set()
+
+    def observer(session):
+        name, want = oracles[id(session.image)]
+        assert session.observables() == want, (
+            f"pooled {name} session diverged from its solo oracle"
+        )
+        seen.add(name)
+
+    driver = MultiSessionDriver(list(images.values()), concurrency=12)
+    records = driver.run_many(30, observer=observer)
+    assert len(records) == 30
+    assert seen == {"tax", "work", "ot"}
+    # One pool per image — sessions never migrate between programs —
+    # and the single-image alias still points at the first.
+    assert len(driver.pools) == len(images)
+    assert driver.pool is driver.pools[0]
+    for pool, image in zip(driver.pools, images.values()):
+        assert pool.image is image
+
+
+def test_mixed_driver_lean_logging_keeps_observables():
+    """Driver sessions skip message/flow log construction (the lean hot
+    path); the observables surface must not notice."""
+    split = split_source(tax.source(records=3), tax.config()).split
+    image = RuntimeImage.for_split(split)
+    solo = Session(image)  # solo default: logs on
+    solo.run()
+    assert solo.network.message_log, "solo session should keep its logs"
+    want = solo.observables()
+
+    driver = MultiSessionDriver(image, concurrency=4)
+    checked = []
+
+    def observer(session):
+        assert session.observables() == want
+        assert session.network.message_log == []
+        assert session.network.flow_log == []
+        checked.append(session)
+
+    driver.run_many(8, observer=observer)
+    assert checked
+
+
+def test_mixed_pools_quarantine_never_leaks_across_images():
+    """Quarantine state is per-session; with a mixed image set it must
+    not leak across sessions of the same image *or* across images."""
+    splits = [
+        split_source(ot.source(rounds=1), ot.config()).split,
+        split_source(tax.source(records=3), tax.config()).split,
+    ]
+    images = [RuntimeImage.for_split(s) for s in splits]
+    ot_pool = SessionPool(images[0], quarantine=True)
+    tax_pool = SessionPool(images[1], quarantine=True)
+
+    bad = ot_pool.acquire()
+    bad.run()
+    with pytest.raises(SecurityAbort):
+        bad.network.quarantine("B", "A", "test")
+    assert "B" in bad.network.quarantined
+
+    # A session of the *other* image is untouched by the blacklist.
+    tax_session = tax_pool.acquire()
+    assert not tax_session.network.quarantined
+    tax_session.run()
+    solo = Session(images[1], quarantine=True)
+    solo.run()
+    assert tax_session.observables() == solo.observables()
+
+    # Recycling the offender clears its blacklist within its own pool.
+    ot_pool.release(bad)
+    recycled = ot_pool.acquire()
+    assert recycled is bad
+    assert not recycled.network.quarantined
+    assert recycled.run().field_value("OTBench", "isAccessed") is True
+
+
 def test_quarantine_blacklist_never_leaks_across_sessions():
     split = split_source(ot.source(rounds=1), ot.config()).split
     image = RuntimeImage.for_split(split)

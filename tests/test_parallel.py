@@ -68,6 +68,105 @@ class TestForkMap:
             parallel._ACTIVE = False
 
 
+class TestChunkPlan:
+    """Balanced interleaved chunking (the old pool.map default left an
+    oversized or undersized last chunk on non-divisible inputs)."""
+
+    def test_sizes_never_differ_by_more_than_one(self):
+        for count in range(1, 40):
+            for parts in range(1, 12):
+                sizes = [len(c) for c in parallel.chunk_plan(count, parts)]
+                assert sum(sizes) == count
+                assert max(sizes) - min(sizes) <= 1, (count, parts, sizes)
+
+    def test_ten_over_four_is_3_3_2_2(self):
+        sizes = [len(c) for c in parallel.chunk_plan(10, 4)]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_indices_are_interleaved(self):
+        # Consecutive items have correlated cost (progen programs grow
+        # with the seed), so item i goes to chunk i % parts.
+        assert parallel.chunk_plan(10, 4) == [
+            [0, 4, 8],
+            [1, 5, 9],
+            [2, 6],
+            [3, 7],
+        ]
+
+    def test_more_parts_than_items_drops_empties(self):
+        chunks = parallel.chunk_plan(3, 8)
+        assert chunks == [[0], [1], [2]]
+
+    def test_every_index_exactly_once(self):
+        for count, parts in [(17, 4), (100, 7), (5, 5)]:
+            seen = sorted(i for c in parallel.chunk_plan(count, parts) for i in c)
+            assert seen == list(range(count))
+
+
+@fork_only
+class TestWorkerPool:
+    def test_map_preserves_input_order_on_uneven_inputs(self):
+        # 13 items over 3 workers: non-divisible on purpose.
+        with parallel.WorkerPool(3, shared={"key": "p"}) as pool:
+            results = pool.map(_echo_shared, list(range(13)))
+        assert results == [(i, "p") for i in range(13)]
+
+    def test_workers_persist_across_maps(self):
+        with parallel.WorkerPool(2, shared={"key": "warm"}) as pool:
+            first = pool.map(_echo_shared, [1, 2, 3])
+            pids_before = [proc.pid for proc in pool._procs]
+            second = pool.map(_echo_shared, [4, 5, 6])
+            pids_after = [proc.pid for proc in pool._procs]
+        assert first == [(1, "warm"), (2, "warm"), (3, "warm")]
+        assert second == [(4, "warm"), (5, "warm"), (6, "warm")]
+        assert pids_before == pids_after  # no re-fork between maps
+
+    def test_new_shared_state_restarts_workers(self):
+        with parallel.WorkerPool(2, shared={"key": "a"}) as pool:
+            assert pool.map(_echo_shared, [1])[0] == (1, "a")
+            pids_a = [proc.pid for proc in pool._procs]
+            assert pool.map(_echo_shared, [2], shared={"key": "b"})[0] == (2, "b")
+            pids_b = [proc.pid for proc in pool._procs]
+        assert set(pids_a).isdisjoint(pids_b)
+
+    def test_same_shared_state_keeps_workers(self):
+        shared = {"key": "same"}
+        with parallel.WorkerPool(2, shared=shared) as pool:
+            pool.map(_echo_shared, [1], shared=shared)
+            pids = [proc.pid for proc in pool._procs]
+            pool.map(_echo_shared, [2], shared=shared)
+            assert [proc.pid for proc in pool._procs] == pids
+
+    def test_serial_pool_runs_inline_with_state(self):
+        pool = parallel.WorkerPool(1, shared={"key": "serial"})
+        try:
+            assert pool.workers == 0
+            assert pool.map(_echo_shared, [7, 8]) == [(7, "serial"), (8, "serial")]
+        finally:
+            pool.close()
+        assert parallel.state() == {}
+        assert not parallel._ACTIVE
+
+    def test_worker_exception_propagates_and_pool_recovers_guard(self):
+        with pytest.raises(ValueError, match="boom"):
+            with parallel.WorkerPool(2) as pool:
+                pool.map(_boom, [1, 2, 3, 4])
+        assert not parallel._ACTIVE
+        assert parallel.state() == {}
+
+    def test_close_releases_guard_and_allows_new_pool(self):
+        pool = parallel.WorkerPool(2, shared={"key": "x"})
+        pool.map(_echo_shared, [1, 2])
+        pool.close()
+        assert not parallel._ACTIVE
+        with parallel.WorkerPool(2, shared={"key": "y"}) as fresh:
+            assert fresh.map(_echo_shared, [3]) == [(3, "y")]
+
+
+def _boom(item):
+    raise ValueError(f"boom on {item}")
+
+
 def test_state_helper_not_shadowed():
     """The module-level helper is callable and returns the live dict —
     the old ``state`` parameter shadowed it inside fork_map's body."""
