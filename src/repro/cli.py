@@ -16,8 +16,19 @@ Usage (also via ``python -m repro``)::
                               --storage-dir DIR
     python -m repro bench [--quick] [--jobs N] [--compare BASELINE]
                           [--throughput [--sessions N]]
+    python -m repro serve [--host H] [--port P] [--rate R] [--burst B]
+    python -m repro serve --smoke
     python -m repro table1
     python -m repro fig4
+
+Failures follow one error contract, shared with the serve gateway: a
+program rejected by the frontend or splitter prints ``REJECTED: ...``
+and exits 1; every *operational* failure (missing input file, corrupt
+hosts JSON, unusable --storage-dir, tampered artifact) prints exactly
+one structured line to stderr —
+``error: {"error": "<code>", "detail": "..."}`` with a code from
+:data:`repro.runtime.gateway.ERROR_CODES` — and exits non-zero, never
+a traceback.
 
 Repeated parses of byte-identical source are served from the frontend
 cache (``repro.lang.cache``); set ``REPRO_PARSE_CACHE=0`` to force every
@@ -53,25 +64,81 @@ from .splitter import SplitError, split_source
 from .trust import HostDescriptor, TrustConfiguration
 
 
+class CliError(Exception):
+    """An operational CLI failure with a structured one-line rendering.
+
+    Mirrors the gateway's error contract (same closed code set), so a
+    script driving ``repro run`` and a client driving ``repro serve``
+    parse failures identically.
+    """
+
+    def __init__(self, code: str, detail: str, exit_code: int = 2) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+        self.exit_code = exit_code
+
+    def report(self) -> int:
+        line = json.dumps(
+            {"error": self.code, "detail": self.detail},
+            separators=(", ", ": "),
+        )
+        print(f"error: {line}", file=sys.stderr)
+        return self.exit_code
+
+
+def read_program(path: str) -> str:
+    """Read a program source file, or fail with a structured error."""
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as error:
+        raise CliError(
+            "bad-request",
+            f"cannot read program {path!r}: "
+            f"{error.strerror or error}".strip(),
+        ) from error
+
+
 def load_trust_configuration(path: str) -> TrustConfiguration:
     """Build a :class:`TrustConfiguration` from a JSON hosts file."""
-    with open(path) as handle:
-        data = json.load(handle)
-    config = TrustConfiguration(
-        HostDescriptor.of(h["name"], h["conf"], h["integ"])
-        for h in data["hosts"]
-    )
-    for pref in data.get("preferences", ()):
-        config.set_preference(pref["principal"], pref["host"], pref["weight"])
-    for pin in data.get("pins", ()):
-        config.pin_field(pin["class"], pin["field"], pin["host"])
-    for link in data.get("links", ()):
-        config.set_link_cost(link["a"], link["b"], link["cost"])
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise CliError(
+            "bad-request",
+            f"cannot read hosts file {path!r}: "
+            f"{error.strerror or error}".strip(),
+        ) from error
+    except json.JSONDecodeError as error:
+        raise CliError(
+            "bad-request", f"hosts file {path!r} is not valid JSON: {error}"
+        ) from error
+    try:
+        config = TrustConfiguration(
+            HostDescriptor.of(h["name"], h["conf"], h["integ"])
+            for h in data["hosts"]
+        )
+        for pref in data.get("preferences", ()):
+            config.set_preference(
+                pref["principal"], pref["host"], pref["weight"]
+            )
+        for pin in data.get("pins", ()):
+            config.pin_field(pin["class"], pin["field"], pin["host"])
+        for link in data.get("links", ()):
+            config.set_link_cost(link["a"], link["b"], link["cost"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise CliError(
+            "bad-request",
+            f"hosts file {path!r} is malformed: "
+            f"{type(error).__name__}: {error}",
+        ) from error
     return config
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    source = open(args.program).read()
+    source = read_program(args.program)
     try:
         checked = check_source(source)
     except JifError as error:
@@ -90,7 +157,7 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_split(args: argparse.Namespace) -> int:
-    source = open(args.program).read()
+    source = read_program(args.program)
     config = load_trust_configuration(args.hosts)
     try:
         result = split_source(source, config)
@@ -112,7 +179,7 @@ def cmd_split(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    source = open(args.program).read()
+    source = read_program(args.program)
     config = load_trust_configuration(args.hosts)
     try:
         result = split_source(source, config)
@@ -129,6 +196,19 @@ def cmd_run(args: argparse.Namespace) -> int:
             prefix="repro-storage-"
         )
         storage = SessionStorage(directory)
+        if args.storage_dir and not storage.available:
+            # An *explicit* storage directory that cannot host the
+            # durable tier is an operator error: fail fast with the
+            # structured contract instead of silently running
+            # memory-only against their stated intent.  (The tempdir
+            # default degrades gracefully as before.)
+            storage.close()
+            raise CliError(
+                "storage-degraded",
+                f"--storage-dir {directory!r} unusable: "
+                f"{storage.degraded_reason}",
+                exit_code=1,
+            )
         print(f"durable storage: sqlite at {directory}")
     executor = DistributedExecutor(
         result.split, opt_level=args.opt_level, storage=storage
@@ -183,7 +263,7 @@ def cmd_faultsweep(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         targets = [(args.program,
-                    open(args.program).read(),
+                    read_program(args.program),
                     load_trust_configuration(args.hosts))]
     else:
         # Default target: the Figure 4 partition (one OT round).
@@ -311,7 +391,7 @@ def cmd_rehydrate(args: argparse.Namespace) -> int:
     from .runtime.checkpoint import CheckpointTamperError
     from .runtime.storage import StorageUnavailableError, rehydrate_session
 
-    source = open(args.program).read()
+    source = read_program(args.program)
     config = load_trust_configuration(args.hosts)
     try:
         result = split_source(source, config)
@@ -321,11 +401,13 @@ def cmd_rehydrate(args: argparse.Namespace) -> int:
     try:
         session = rehydrate_session(result.split, args.storage_dir)
     except CheckpointTamperError as error:
-        print(f"FAIL CLOSED: {error}", file=sys.stderr)
-        return 1
+        # A tampered or corrupt artifact fails closed as a security
+        # rejection — same code the gateway uses for quarantine.
+        raise CliError("quarantine", str(error), exit_code=1) from error
     except StorageUnavailableError as error:
-        print(f"STORAGE UNAVAILABLE: {error}", file=sys.stderr)
-        return 1
+        raise CliError(
+            "storage-degraded", str(error), exit_code=1
+        ) from error
     outcome = session.run()
     print(f"rehydrated and completed in {outcome.elapsed:.4f} "
           f"simulated seconds")
@@ -335,6 +417,45 @@ def cmd_rehydrate(args: argparse.Namespace) -> int:
         except KeyError:
             continue
         print(f"  {cls}.{field} = {value}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve execution requests over TCP (or run the CI smoke)."""
+    from .runtime import gateway as gateway_mod
+
+    if args.smoke:
+        return gateway_mod.smoke(verbose=not args.quiet)
+
+    import asyncio
+
+    async def _serve() -> None:
+        gw = gateway_mod.Gateway(
+            host=args.host,
+            port=args.port,
+            rate=args.rate,
+            burst=args.burst,
+            opt_level=args.opt_level,
+        )
+        host, port = await gw.start()
+        print(f"serving on {host}:{port} "
+              f"(workloads: {', '.join(gateway_mod.WORKLOAD_NAMES)}; "
+              f"rate {args.rate}/s, burst {args.burst} per principal)")
+        try:
+            await gw.serve_forever()
+        finally:
+            await gw.close()
+            snapshot = gw.stats.snapshot()
+            print(f"served {snapshot['requests']} requests over "
+                  f"{snapshot['connections']} connections "
+                  f"({snapshot['errors']} errors); "
+                  f"p50 {snapshot['latency']['p50']:.4f}s, "
+                  f"p99 {snapshot['latency']['p99']:.4f}s")
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -491,6 +612,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rehydrate.set_defaults(func=cmd_rehydrate)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the TCP gateway: clients multiplex Table 1 workload "
+             "executions (pooled sessions or real forked host "
+             "processes) with per-principal rate limiting and "
+             "structured error frames",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: OS-assigned)")
+    serve.add_argument("--rate", type=float, default=16.0,
+                       help="requests/second refill per principal")
+    serve.add_argument("--burst", type=float, default=32.0,
+                       help="token-bucket burst capacity per principal")
+    serve.add_argument("--opt-level", type=int, default=1,
+                       choices=(0, 1, 2))
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="CI acceptance sequence: all five Table 1 workloads over "
+             "real TCP host processes bit-identical to the simulated "
+             "oracle, 16 concurrent multiplexed clients, rate-limit "
+             "shedding with structured errors",
+    )
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(func=cmd_serve)
+
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.set_defaults(func=cmd_table1)
 
@@ -503,7 +650,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as error:
+        return error.report()
 
 
 if __name__ == "__main__":

@@ -128,6 +128,14 @@ class Profiler:
     def _patch(
         self, cls: type, name: str, category: str, counts_message: bool = False
     ) -> None:
+        # Patch the class that actually defines the method (e.g.
+        # SimNetwork inherits _account/flow from Transport), so every
+        # backend sharing the base is profiled and uninstall restores
+        # the right slot.
+        for owner in cls.__mro__:
+            if name in owner.__dict__:
+                cls = owner
+                break
         original = cls.__dict__[name]
         self._patches.append((cls, name, original))
         setattr(cls, name, self._wrap(category, original, counts_message))

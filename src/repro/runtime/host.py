@@ -60,7 +60,7 @@ from .checkpoint import (
 )
 from .compiler import CompiledFragment, compilation_enabled, compile_split
 from .ics import LocalStack
-from .network import Message, SecurityAbort, SimNetwork
+from .network import Message, SecurityAbort, Transport
 from .tokens import Token, TokenFactory
 from .values import REJECTED, ArrayRef, FrameID, ObjectRef, ReturnInfo
 
@@ -92,7 +92,7 @@ class TrustedHost:
         self,
         name: str,
         split: SplitProgram,
-        network: SimNetwork,
+        network: Transport,
         registry: KeyRegistry,
         opt_level: int = 1,
         token_rng=None,
@@ -315,6 +315,7 @@ class TrustedHost:
                 message.src,
                 self.name,
                 f"{message.kind} from {message.src} rejected by {self.name}",
+                message=message,
             )
         return _REJECTED
 

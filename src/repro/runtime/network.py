@@ -24,113 +24,43 @@ cannot be delivered within the retry budget raises
 :class:`DeliveryTimeoutError`: the run fails closed, never answers
 wrong.  With no injector attached every code path, count, and clock
 charge is exactly the fault-free Section 3.1 model.
+
+:class:`SimNetwork` is the default implementation of the pluggable
+:class:`~repro.runtime.transport.base.Transport` contract; the message
+envelope, cost model, accounting core, and fail-closed error taxonomy
+live in :mod:`repro.runtime.transport.base` (re-exported here under
+their historical names) so the real TCP backend in
+:mod:`repro.runtime.transport.tcp` charges bit-identically.
 """
 
 from __future__ import annotations
 
-import itertools
-from collections import Counter, deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .faults import FaultInjector, RetryPolicy
+from .transport.base import (
+    CONTROL_KINDS,
+    ROUNDTRIP_KINDS,
+    CostModel,
+    DeliveryTimeoutError,
+    Message,
+    SecurityAbort,
+    Transport,
+)
 
-#: Message kinds that transfer control (one message each).
-CONTROL_KINDS = ("rgoto", "lgoto")
-#: Message kinds that are request/reply round trips (two messages each).
-ROUNDTRIP_KINDS = ("getField", "setField", "forward", "sync")
-
-
-class CostModel:
-    """Simulated-time costs, calibrated to the Section 7.2 testbed."""
-
-    def __init__(
-        self,
-        one_way_latency: float = 320e-6,
-        check_cost: float = 5e-6,
-        hash_cost: float = 100e-6,
-        op_cost: float = 1e-6,
-    ) -> None:
-        #: one-way application-to-application latency over SSL (the paper
-        #: measured a ≥640 µs round trip for a null RMI call over SSL).
-        self.one_way_latency = one_way_latency
-        #: validating one incoming request (access control, digest).
-        self.check_cost = check_cost
-        #: hashing a capability token (MD5 in the paper).
-        self.hash_cost = hash_cost
-        #: executing one local operation.
-        self.op_cost = op_cost
+__all__ = [
+    "CONTROL_KINDS",
+    "ROUNDTRIP_KINDS",
+    "CostModel",
+    "DeliveryTimeoutError",
+    "Message",
+    "SecurityAbort",
+    "SimNetwork",
+    "Transport",
+]
 
 
-class Message:
-    """One network message."""
-
-    __slots__ = ("kind", "src", "dst", "payload", "data_labels", "msg_id",
-                 "seq")
-
-    def __init__(
-        self,
-        kind: str,
-        src: str,
-        dst: str,
-        payload: Dict[str, Any],
-        data_labels: Optional[List] = None,
-        msg_id: Optional[int] = None,
-        seq: Optional[int] = None,
-    ) -> None:
-        self.kind = kind
-        self.src = src
-        self.dst = dst
-        self.payload = payload
-        #: labels of confidential data carried (for instrumentation).
-        self.data_labels = data_labels or []
-        #: idempotency key: retransmissions and duplicates share it, so
-        #: receivers can suppress re-execution (None on reliable nets).
-        self.msg_id = msg_id
-        #: per-(src, dst) channel sequence number.
-        self.seq = seq
-
-    def __repr__(self) -> str:
-        return f"Message({self.kind} {self.src}->{self.dst})"
-
-
-class DeliveryTimeoutError(RuntimeError):
-    """A message exhausted its retry budget: the run fails closed."""
-
-    def __init__(self, message: Message, attempts: int) -> None:
-        super().__init__(
-            f"{message.kind} {message.src}->{message.dst} undeliverable "
-            f"after {attempts} attempts; failing closed"
-        )
-        self.message_kind = message.kind
-        self.src = message.src
-        self.dst = message.dst
-        self.attempts = attempts
-
-
-class SecurityAbort(RuntimeError):
-    """A detected protocol violation terminated the run fail-closed.
-
-    Raised by the quarantine layer (Section 3.2's threat model: a bad
-    host gains nothing, and good hosts stop talking to it) instead of
-    letting a rejected request silently stall the executor.  Carries
-    the offending host (``None`` when the violation is local, e.g.
-    tampered stable storage discovered during recovery) and the host
-    that detected it.
-    """
-
-    def __init__(
-        self, offender: Optional[str], victim: Optional[str], why: str
-    ) -> None:
-        super().__init__(
-            f"security abort ({offender or 'local'} vs {victim or '?'}): "
-            f"{why}"
-        )
-        self.offender = offender
-        self.victim = victim
-        self.why = why
-
-
-class SimNetwork:
+class SimNetwork(Transport):
     """Message transport, accounting, and the control-message queue."""
 
     def __init__(
@@ -139,48 +69,16 @@ class SimNetwork:
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self.cost = cost_model or CostModel()
-        self.clock = 0.0
-        #: time spent validating incoming requests (Section 7.3).
-        self.check_time = 0.0
-        #: time spent hashing tokens (Section 7.3).
-        self.hash_time = 0.0
-        self.counts: Counter = Counter()
-        self.eliminated_roundtrips = 0
-        self.message_log: List[Message] = []
-        self.audit_log: List[str] = []
-        #: (label, host) pairs: data with this label became visible to host.
-        self.flow_log: List = []
-        #: whether to retain per-message/per-flow event objects.  The
-        #: logs exist for collectors — the security-assurance checks and
-        #: the tracer — not for the run's observables (counts, clock, ICS
-        #: depths), so a throughput driver with no collector attached
-        #: turns this off and skips building the trace events entirely.
-        #: Attaching a :class:`~repro.runtime.trace.Tracer` switches it
-        #: back on.
-        self.record_logs = True
+        super().__init__(cost_model)
         #: fault injector; None restores the reliable Section 3.1 channels.
         self.faults = faults
         self.retry = retry or RetryPolicy()
-        #: (kind, src, dst, detail) tuples for drop/retry/crash/restart/...
-        self.fault_events: List[Tuple[str, Optional[str], Optional[str], str]] = []
-        self.fault_counts: Counter = Counter()
-        self._listeners: List[Callable[..., None]] = []
-        self._msg_ids = itertools.count(1)
-        self._seq: Counter = Counter()
-        self._queue: Deque[Message] = deque()
         self._handlers: Dict[str, Callable[[Message], Any]] = {}
         #: host -> (on_crash, on_restart) hooks, used in volatile crash
         #: mode to wipe a host's state and drive its recovery.
         self._crash_hooks: Dict[
             str, Tuple[Optional[Callable[[], None]], Optional[Callable[[], None]]]
         ] = {}
-        #: quarantine layer: off by default (rejected requests are
-        #: silently ignored, the paper's Figure 6 behaviour).  When on,
-        #: a rejected *remote* request raises :class:`SecurityAbort` and
-        #: blacklists the offender.
-        self.quarantine_enabled = False
-        self.quarantined: set = set()
 
     def reset(
         self,
@@ -193,29 +91,16 @@ class SimNetwork:
         session wiring, not run state — while every piece of per-run
         accounting is cleared: clock, counts, logs, channel sequence
         numbers, idempotency-key counter, the control queue, fault
-        events, event listeners, and the quarantine set.  Also uninstalls
-        any instance-level ``_account`` override (the tracer patches one
-        in), so a previously traced session stops tracing when recycled.
+        events, event listeners, the quarantine set, and the
+        log-recording flag (a session recycled out of a lean-logging
+        ``record_logs=False`` run records again by default).  Also
+        uninstalls any instance-level ``_account`` override (the tracer
+        patches one in), so a previously traced session stops tracing
+        when recycled.
         """
-        self.clock = 0.0
-        self.check_time = 0.0
-        self.hash_time = 0.0
-        self.counts.clear()
-        self.eliminated_roundtrips = 0
-        self.message_log.clear()
-        self.audit_log.clear()
-        self.flow_log.clear()
+        self.reset_run_state()
         self.faults = faults
         self.retry = retry or RetryPolicy()
-        self.fault_events.clear()
-        self.fault_counts.clear()
-        self._listeners.clear()
-        self._msg_ids = itertools.count(1)
-        self._seq.clear()
-        self._queue.clear()
-        self.quarantine_enabled = False
-        self.quarantined.clear()
-        self.__dict__.pop("_account", None)
 
     # -- host registration -----------------------------------------------------
 
@@ -233,78 +118,6 @@ class SimNetwork:
     @property
     def hosts(self) -> List[str]:
         return list(self._handlers)
-
-    # -- accounting helpers ------------------------------------------------------
-
-    def _account(self, message: Message, messages: int) -> None:
-        self.counts[message.kind] += 1
-        self.counts["messages"] += messages
-        if message.src != message.dst:
-            self.clock += messages * self.cost.one_way_latency
-        if self.record_logs:
-            self.message_log.append(message)
-
-    def charge_check(self) -> None:
-        self.clock += self.cost.check_cost
-        self.check_time += self.cost.check_cost
-
-    def charge_hash(self) -> None:
-        self.clock += self.cost.hash_cost
-        self.hash_time += self.cost.hash_cost
-
-    def charge_ops(self, count: int) -> None:
-        self.clock += count * self.cost.op_cost
-
-    def note_eliminated(self, count: int) -> None:
-        self.eliminated_roundtrips += count
-
-    def audit(self, host: str, why: str) -> None:
-        self.audit_log.append(f"{host}: {why}")
-
-    def flow(self, label, host: str) -> None:
-        """Record that data labeled ``label`` became visible to ``host``."""
-        if self.record_logs:
-            self.flow_log.append((label, host))
-
-    # -- quarantine --------------------------------------------------------------
-
-    def quarantine(self, offender: str, victim: str, why: str) -> None:
-        """Blacklist ``offender`` and unwind the run with
-        :class:`SecurityAbort` (only called when ``quarantine_enabled``)."""
-        self.audit(victim, f"quarantining {offender}: {why}")
-        self._emit("quarantine", offender, victim, why)
-        self.quarantined.add(offender)
-        raise SecurityAbort(offender, victim, why)
-
-    def _check_quarantine(self, message: Message) -> None:
-        if self.quarantine_enabled and message.src in self.quarantined:
-            raise SecurityAbort(
-                message.src,
-                message.dst,
-                f"{message.kind} refused: {message.src} is quarantined",
-            )
-
-    # -- fault events ------------------------------------------------------------
-
-    def on_event(self, callback: Callable[..., None]) -> None:
-        """Subscribe to fault events: callback(kind, src, dst, detail)."""
-        self._listeners.append(callback)
-
-    def _emit(
-        self, kind: str, src: Optional[str], dst: Optional[str], detail: str
-    ) -> None:
-        self.fault_events.append((kind, src, dst, detail))
-        self.fault_counts[kind] += 1
-        for callback in self._listeners:
-            callback(kind, src, dst, detail)
-
-    def _stamp(self, message: Message) -> None:
-        """Assign the idempotency key and channel sequence number."""
-        if message.msg_id is None:
-            message.msg_id = next(self._msg_ids)
-            channel = (message.src, message.dst)
-            self._seq[channel] += 1
-            message.seq = self._seq[channel]
 
     # -- synchronous round trips ----------------------------------------------------
 
@@ -530,26 +343,3 @@ class SimNetwork:
                 f"{message.kind} #{message.msg_id} inserted at slot {slot}",
             )
             self._queue.insert(slot, message)
-
-    def pop_control(self) -> Optional[Message]:
-        return self._queue.popleft() if self._queue else None
-
-    @property
-    def pending_control(self) -> int:
-        return len(self._queue)
-
-    # -- reporting ------------------------------------------------------------------
-
-    def table_counts(self) -> Dict[str, int]:
-        """The Table 1 accounting: round-trip kinds reported singly
-        (each costs two messages), control kinds as message counts."""
-        return {
-            "forward": self.counts.get("forward", 0),
-            "getField": self.counts.get("getField", 0),
-            "setField": self.counts.get("setField", 0),
-            "sync": self.counts.get("sync", 0),
-            "lgoto": self.counts.get("lgoto", 0),
-            "rgoto": self.counts.get("rgoto", 0),
-            "total_messages": self.counts.get("messages", 0),
-            "eliminated": self.eliminated_roundtrips,
-        }

@@ -1,0 +1,122 @@
+"""Per-principal token-bucket rate limiting for the serve gateway.
+
+The gateway admits execution requests on behalf of *principals* (the
+authenticated identity a client presents in its hello frame).  Each
+principal gets an independent token bucket: ``burst`` tokens of
+capacity refilled at ``rate`` tokens per second of monotonic wall
+clock.  A request that finds the bucket empty is shed with a
+structured ``rate-limit`` error frame — the connection stays open and
+the client may retry after ``retry_after`` seconds.
+
+The buckets use continuous refill (no background timer thread): the
+deficit is recomputed lazily from the monotonic clock at each
+``allow`` call, so an idle limiter costs nothing and the arithmetic is
+exact for any interleaving.  The clock is injectable for deterministic
+tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+
+class TokenBucket:
+    """One principal's bucket: ``burst`` capacity, ``rate`` tokens/sec."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ValueError("rate must be positive")
+        if burst <= 0.0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0.0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self._last = now
+
+    def allow(self, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if available; False sheds the request."""
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have accumulated."""
+        self._refill()
+        deficit = cost - self.tokens
+        if deficit <= 0.0:
+            return 0.0
+        return deficit / self.rate
+
+
+class PrincipalRateLimiter:
+    """Registry of per-principal buckets, created on first sight.
+
+    Every principal gets the same ``rate``/``burst`` policy; the
+    buckets themselves are independent, so one over-quota client can
+    never starve another (the gateway's isolation requirement).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: admitted / shed counters by principal (observability).
+        self.admitted: Dict[str, int] = {}
+        self.shed: Dict[str, int] = {}
+
+    def _bucket(self, principal: str) -> TokenBucket:
+        bucket = self._buckets.get(principal)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[principal] = bucket
+        return bucket
+
+    def admit(self, principal: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Admit or shed one request; returns ``(allowed, retry_after)``.
+
+        ``retry_after`` is 0.0 when admitted, else the seconds the
+        principal should wait before retrying (reported verbatim in the
+        structured ``rate-limit`` error frame).
+        """
+        bucket = self._bucket(principal)
+        if bucket.allow(cost):
+            self.admitted[principal] = self.admitted.get(principal, 0) + 1
+            return True, 0.0
+        self.shed[principal] = self.shed.get(principal, 0) + 1
+        return False, bucket.retry_after(cost)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-principal admission stats for the serve report."""
+        out: Dict[str, Dict[str, float]] = {}
+        for principal, bucket in sorted(self._buckets.items()):
+            bucket._refill()
+            out[principal] = {
+                "admitted": self.admitted.get(principal, 0),
+                "shed": self.shed.get(principal, 0),
+                "tokens": round(bucket.tokens, 6),
+            }
+        return out
